@@ -1,0 +1,57 @@
+// Command regsec-probe runs the paper's hands-on registrar methodology
+// against the full simulated catalogue and prints Tables 2, 3 and 4 plus
+// the section-5 headline summary and the security findings.
+//
+// Usage:
+//
+//	regsec-probe [-notes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"securepki.org/registrarsec"
+)
+
+func main() {
+	notes := flag.Bool("notes", false, "print per-registrar probe notes (anecdotes, vulnerabilities)")
+	flag.Parse()
+
+	study, err := registrarsec.NewStudy(registrarsec.Options{SkipWorld: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	obs2 := study.ProbeTable2()
+	fmt.Println("Table 2 — the 20 most popular registrars, probed as a customer:")
+	fmt.Println(study.RenderTable2(obs2))
+	s := registrarsec.Summarize(obs2)
+	fmt.Printf("headline: %d/20 sign hosted zones (%d by default, %d paid); %d/20 accept owner DS records;\n",
+		s.HostedSupport, s.HostedDefault, s.HostedPaid, s.OwnerSupport)
+	fmt.Printf("          %d use email (%d accepted a forged sender); only %d validated the DS record.\n\n",
+		s.EmailChannel, s.ForgedEmailOK, s.ValidateDS)
+
+	obs3 := study.ProbeTable3()
+	fmt.Println("Table 3 — the registrars operating the most DNSKEY-publishing domains:")
+	fmt.Println(study.RenderTable3(obs3))
+	s3 := registrarsec.Summarize(obs3)
+	fmt.Printf("headline: %d/10 sign by default; %d/10 accept owner DS records; %d validate.\n\n",
+		s3.HostedDefault, s3.OwnerSupport, s3.ValidateDS)
+
+	fmt.Println("Table 4 — registrar vs reseller roles per TLD:")
+	fmt.Println(registrarsec.RenderTable4(study.SurveyTable4()))
+
+	if *notes {
+		fmt.Println("probe notes:")
+		for _, group := range [][]*registrarsec.Observation{obs2, obs3} {
+			for _, o := range group {
+				for _, n := range o.Notes {
+					fmt.Printf("  %-16s %s\n", o.Registrar+":", n)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Command regsec-report regenerates the paper's measurement artifacts from
+// the simulated world: the Table 1 dataset overview, the Figure 3 operator
+// CDFs, and the Figure 4-8 time series (as CSV suitable for plotting).
+//
+// Usage:
+//
+//	regsec-report [-scale 1000] [-seed 1] -artifact table1|figure3|figure4|figure5|figure6|figure7|figure8|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"securepki.org/registrarsec"
+	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+func main() {
+	scaleDiv := flag.Float64("scale", 1000, "population divisor")
+	seed := flag.Int64("seed", 1, "world seed")
+	artifact := flag.String("artifact", "all", "which artifact to produce")
+	step := flag.Int("step", 7, "series step in days")
+	archive := flag.String("archive", "", "analyze a regsec-scan TSV archive instead of the generative model")
+	flag.Parse()
+
+	if *archive != "" {
+		if err := reportArchive(*archive); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	study, err := registrarsec.NewStudy(registrarsec.Options{
+		Scale: 1 / *scaleDiv, Seed: *seed, SkipAgents: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	runAll := *artifact == "all"
+	did := false
+
+	if runAll || *artifact == "table1" {
+		did = true
+		fmt.Println("Table 1 — dataset overview at 2016-12-31:")
+		fmt.Println(registrarsec.RenderTable1(study.Table1()))
+	}
+	if runAll || *artifact == "figure3" {
+		did = true
+		all, partial, full := study.Figure3()
+		fmt.Println("Figure 3 — cumulative distribution of gTLD domains by DNS operator:")
+		fmt.Printf("  operators: all=%d partial=%d full=%d\n", len(all), len(partial), len(full))
+		fmt.Printf("  to cover 50%%: all=%d partial=%d full=%d (paper: 26/4/2)\n",
+			registrarsec.OperatorsToCover(all, 0.5),
+			registrarsec.OperatorsToCover(partial, 0.5),
+			registrarsec.OperatorsToCover(full, 0.5))
+		fmt.Println("  rank,cum_all,cum_partial,cum_full")
+		for _, rank := range []int{1, 2, 4, 10, 26, 100, 1000} {
+			fmt.Printf("  %d,%.3f,%.3f,%.3f\n", rank,
+				cumAt(all, rank), cumAt(partial, rank), cumAt(full, rank))
+		}
+		fmt.Println()
+	}
+
+	series := func(title, op, tld string, from registrarsec.Day) {
+		pts := study.Series(op, tld, from, simtime.End, *step)
+		fmt.Printf("%s (%s/.%s)\nday,total,pct_dnskey,pct_full\n", title, op, orAll(tld))
+		for _, p := range pts {
+			fmt.Printf("%s,%d,%.3f,%.3f\n", p.Day, p.Total, p.PctDNSKEY(), p.PctFull())
+		}
+		fmt.Println()
+	}
+	if runAll || *artifact == "figure4" {
+		did = true
+		series("Figure 4 — OVH", "ovh.net", "", simtime.GTLDStart)
+		series("Figure 4 — GoDaddy", "domaincontrol.com", "", simtime.GTLDStart)
+	}
+	if runAll || *artifact == "figure5" {
+		did = true
+		series("Figure 5 — Loopia .se", "loopia.se", "se", simtime.SEStart)
+		series("Figure 5 — Loopia .com", "loopia.se", "com", simtime.GTLDStart)
+		series("Figure 5 — KPN .nl", "is.nl", "nl", simtime.NLStart)
+		series("Figure 5 — KPN .com", "is.nl", "com", simtime.GTLDStart)
+	}
+	if runAll || *artifact == "figure6" {
+		did = true
+		series("Figure 6 — Antagonist .com", "webhostingserver.nl", "com", simtime.GTLDStart)
+		series("Figure 6 — Antagonist .nl", "webhostingserver.nl", "nl", simtime.NLStart)
+		series("Figure 6 — Binero .se", "binero.se", "se", simtime.SEStart)
+		series("Figure 6 — Binero .com", "binero.se", "com", simtime.GTLDStart)
+	}
+	if runAll || *artifact == "figure7" {
+		did = true
+		series("Figure 7 — PCExtreme .com", "pcextreme.nl", "com", simtime.GTLDStart-20)
+		series("Figure 7 — TransIP .com", "transip.net", "com", simtime.GTLDStart)
+		series("Figure 7 — TransIP .se", "transip.net", "se", simtime.SEStart)
+	}
+	if runAll || *artifact == "figure8" {
+		did = true
+		pts := study.Figure8(*step)
+		fmt.Println("Figure 8 — Cloudflare (cloudflare.com)\nday,total,pct_dnskey,pct_ds_given_dnskey")
+		for _, p := range pts {
+			fmt.Printf("%s,%d,%.3f,%.3f\n", p.Day, p.Total, p.PctDNSKEY(), p.PctDSGivenDNSKEY())
+		}
+		fmt.Println()
+	}
+	if !did {
+		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *artifact)
+		os.Exit(2)
+	}
+}
+
+// reportArchive summarizes a scan archive: per-day overview plus the
+// operator CDFs of the final day.
+func reportArchive(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store, err := dataset.ReadTSV(f)
+	if err != nil {
+		return err
+	}
+	if store.Len() == 0 {
+		return fmt.Errorf("archive %s contains no snapshots", path)
+	}
+	tlds := map[string]bool{}
+	for _, day := range store.Days() {
+		snap := store.Get(day)
+		for i := range snap.Records {
+			tlds[snap.Records[i].TLD] = true
+		}
+	}
+	var order []string
+	for tld := range tlds {
+		order = append(order, tld)
+	}
+	sort.Strings(order)
+	for _, day := range store.Days() {
+		snap := store.Get(day)
+		fmt.Printf("snapshot %s (%d records):\n", day, len(snap.Records))
+		for _, row := range analysis.Overview(snap, order) {
+			fmt.Printf("  .%-4s %8d domains  %6.2f%% DNSKEY  %6.2f%% full  %6.2f%% partial\n",
+				row.TLD, row.Domains, row.PctDNSKEY, row.PctFull, row.PctPartial)
+		}
+	}
+	final := store.Latest()
+	all := analysis.OperatorCDF(final, analysis.All)
+	full := analysis.OperatorCDF(final, analysis.FullyDeployed)
+	fmt.Printf("final day: %d operators; 50%% coverage needs %d (all) / %d (full)\n",
+		len(all), analysis.OperatorsToCover(all, 0.5), analysis.OperatorsToCover(full, 0.5))
+	return nil
+}
+
+func cumAt(cdf []registrarsec.CDFPoint, rank int) float64 {
+	return analysis.CoverageOfTop(cdf, rank)
+}
+
+func orAll(tld string) string {
+	if tld == "" {
+		return "all"
+	}
+	return tld
+}

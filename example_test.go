@@ -1,0 +1,49 @@
+package registrarsec_test
+
+import (
+	"fmt"
+
+	"securepki.org/registrarsec"
+)
+
+// ExampleOperatorsToCover shows the Figure 3 coverage computation over a
+// hand-built CDF.
+func ExampleOperatorsToCover() {
+	cdf := []registrarsec.CDFPoint{
+		{Rank: 1, Operator: "ovh.net", Count: 320, CumFrac: 0.40},
+		{Rank: 2, Operator: "hyp.net", Count: 94, CumFrac: 0.52},
+		{Rank: 3, Operator: "transip.net", Count: 91, CumFrac: 0.63},
+	}
+	fmt.Println(registrarsec.OperatorsToCover(cdf, 0.5))
+	// Output: 2
+}
+
+// ExampleRenderTable1 renders a dataset overview.
+func ExampleRenderTable1() {
+	rows := []registrarsec.TLDOverview{
+		{TLD: "com", Domains: 118147, PctDNSKEY: 0.70, PctFull: 0.49, PctPartial: 0.21},
+		{TLD: "nl", Domains: 5674, PctDNSKEY: 51.60, PctFull: 49.90, PctPartial: 1.70},
+	}
+	fmt.Print(registrarsec.RenderTable1(rows))
+	// Output:
+	// TLD         Domains     %DNSKEY       %Full    %Partial
+	// --------------------------------------------------------
+	// .com         118147       0.70%       0.49%       0.21%
+	// .nl            5674      51.60%      49.90%       1.70%
+}
+
+// ExampleNewStudy builds the full environment and probes one registrar.
+func ExampleNewStudy() {
+	study, err := registrarsec.NewStudy(registrarsec.Options{SkipWorld: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	obs, err := study.Prober().Run(study.Agents["godaddy"])
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(obs.Registrar, "needs a fee for hosted DNSSEC:", obs.HostedNeededFee)
+	// Output: GoDaddy needs a fee for hosted DNSSEC: true
+}

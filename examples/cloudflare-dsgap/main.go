@@ -1,0 +1,120 @@
+// Cloudflare DS gap: reproduce section 7 end to end. Ten customers
+// delegate their domains to a third-party DNS operator and enable DNSSEC;
+// the operator signs and hands each a DS record — but only some customers
+// relay it to their registrar. The rest stay partially deployed, invisible
+// to validating resolvers. Then a CDS-polling registry (the paper's
+// recommendation) closes the gap without any human in the loop.
+//
+// Run with: go run ./examples/cloudflare-dsgap
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"securepki.org/registrarsec/internal/channel"
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/ecosystem"
+	"securepki.org/registrarsec/internal/operator"
+	"securepki.org/registrarsec/internal/registrar"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+func main() {
+	eco, err := ecosystem.New(ecosystem.Config{
+		TLDs:    []string{"com"},
+		CDSTLDs: map[string]bool{"com": true}, // the registry CAN poll CDS (like .cz)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eco.Clock.Set(simtime.CloudflareUniversalDNSSEC + 1)
+
+	reg, err := registrar.New(registrar.Policy{
+		ID: "webreg", Name: "WebReg", NSHosts: []string{"ns1.webreg.net"},
+		OwnerDNSSEC: true, DSChannel: channel.Web,
+		Roles: map[string]registrar.Role{"com": {Kind: registrar.RoleRegistrar}},
+	}, registrar.Deps{Registries: eco.Registries, Net: eco.Net, Clock: eco.Clock.Day})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cf, err := operator.New(operator.Config{
+		ID: "cloudflare", Name: "Cloudflare",
+		NSHosts:         []string{"ana.ns.cloudflare.com", "bob.ns.cloudflare.com"},
+		SupportsDNSSEC:  true,
+		DNSSECLaunchDay: simtime.CloudflareUniversalDNSSEC,
+		PublishesCDS:    true,
+		Clock:           eco.Clock.Day,
+		Net:             eco.Net,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	classify := func(domain string) dnssec.Deployment {
+		r, _ := eco.Registries["com"].Registration(domain)
+		v := eco.Validating()
+		res, chain, err := v.Lookup(context.Background(), domain, dnswire.TypeDNSKEY)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hasKey := len(res.RRSet(domain, dnswire.TypeDNSKEY).RRs) > 0
+		return dnssec.Classify(hasKey, len(r.DS) > 0, chain.Status == dnssec.Secure)
+	}
+
+	// Ten customers sign up; each enables DNSSEC; only 60% complete the
+	// DS relay — the paper's measured completion rate.
+	fmt.Println("ten Cloudflare customers enable universal DNSSEC;")
+	fmt.Println("six relay the DS to their registrar, four do not (the paper's 60/40 split):")
+	var domains []string
+	for i := 0; i < 10; i++ {
+		domain := fmt.Sprintf("site%02d.com", i)
+		domains = append(domains, domain)
+		email := fmt.Sprintf("owner%02d@example.net", i)
+		reg.CreateAccount(email)
+		if err := reg.Purchase(email, domain, ""); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cf.CreateZone(domain); err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.UseExternalNameservers(email, domain, cf.NSHosts()); err != nil {
+			log.Fatal(err)
+		}
+		ds, err := cf.EnableDNSSEC(domain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i%10 < 6 { // 60% complete the relay
+			if err := reg.SubmitDSWeb(email, domain, ds); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	count := func() map[dnssec.Deployment]int {
+		out := map[dnssec.Deployment]int{}
+		for _, d := range domains {
+			out[classify(d)]++
+		}
+		return out
+	}
+	c := count()
+	fmt.Printf("  full=%d  partial=%d  (paper: 60.7%% vs 39.3%% of DNSKEY domains)\n\n",
+		c[dnssec.DeploymentFull], c[dnssec.DeploymentPartial])
+
+	// The fix: the registry polls CDS/CDNSKEY (RFC 7344/8078) — Cloudflare
+	// already publishes them — and installs the DS itself.
+	report, err := eco.Registries["com"].ScanCDS(context.Background(), eco.Net, eco.Clock.Day(), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry CDS sweep: scanned=%d bootstrapped=%d updated=%d rejected=%d\n",
+		report.Scanned, report.Bootstrapped, report.Updated, report.Rejected)
+	c = count()
+	fmt.Printf("after the sweep:    full=%d  partial=%d — the relay gap is closed with no human involved\n",
+		c[dnssec.DeploymentFull], c[dnssec.DeploymentPartial])
+}

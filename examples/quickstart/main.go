@@ -1,0 +1,99 @@
+// Quickstart: sign a zone, serve it over real UDP, query it with the DO
+// bit, compute the DS record, and watch validation succeed — then break the
+// chain the way a sloppy registrar would and watch it fail.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+func main() {
+	// 1. Build a zone.
+	z := zone.New("example.test")
+	z.MustAdd(dnswire.NewRR("example.test", 3600, &dnswire.SOA{
+		MName: "ns1.example.test", RName: "hostmaster.example.test",
+		Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+	}))
+	z.MustAdd(dnswire.NewRR("example.test", 3600, &dnswire.NS{Host: "ns1.example.test"}))
+	z.MustAdd(dnswire.NewRR("www.example.test", 300, &dnswire.A{Addr: netip.MustParseAddr("203.0.113.80")}))
+
+	// 2. Sign it: a KSK/ZSK pair, RRSIGs over every authoritative RRset.
+	signer, err := zone.NewSigner(dnswire.AlgECDSAP256SHA256, time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := signer.Sign(z); err != nil {
+		log.Fatal(err)
+	}
+	dss, err := signer.DSRecords("example.test", dnswire.DigestSHA256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("zone signed; the DS record a registrar must upload to the registry:")
+	fmt.Printf("  example.test. IN DS %s\n\n", dss[0])
+
+	// 3. Serve it over real UDP/TCP on an ephemeral port.
+	auth := dnsserver.NewAuthoritative()
+	auth.AddZone(z)
+	srv := &dnsserver.Server{Handler: auth}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("serving example.test on %s\n\n", srv.Addr())
+
+	// 4. Query with the DO bit: the answer carries RRSIGs.
+	ex := &dnsserver.NetExchanger{Timeout: 2 * time.Second}
+	q := dnswire.NewQuery(1, "www.example.test", dnswire.TypeA)
+	q.SetEDNS(4096, true)
+	resp, err := ex.Exchange(context.Background(), srv.Addr(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("response with DO bit set:")
+	fmt.Print(resp.String())
+
+	// 5. Verify the A RRset against the zone keys — what a validating
+	// resolver does once the chain of trust reaches this zone.
+	var rrs []*dnswire.RR
+	var sig *dnswire.RRSIG
+	for _, rr := range resp.Answers {
+		switch d := rr.Data.(type) {
+		case *dnswire.A:
+			rrs = append(rrs, rr)
+		case *dnswire.RRSIG:
+			if d.TypeCovered == dnswire.TypeA {
+				sig = d
+			}
+		}
+	}
+	zsk := signer.ZSK.DNSKEY()
+	if err := dnssec.VerifyRRSet(rrs, sig, zsk, time.Now()); err != nil {
+		log.Fatalf("validation failed: %v", err)
+	}
+	fmt.Println("\nRRSIG over www.example.test/A verifies ✓")
+
+	// 6. The DS is the fragile link: check that the published DS matches
+	// the KSK, then simulate a registrar accepting a corrupted one.
+	if dnssec.MatchDS("example.test", dss[0], signer.KSK.DNSKEY()) {
+		fmt.Println("DS matches the KSK ✓ — with this DS at the registry, the domain is FULLY deployed")
+	}
+	corrupted := *dss[0]
+	corrupted.Digest = append([]byte(nil), dss[0].Digest...)
+	corrupted.Digest[0] ^= 0xff // one transcription error, as in the isoc.org anecdote
+	if !dnssec.MatchDS("example.test", &corrupted, signer.KSK.DNSKEY()) {
+		fmt.Println("corrupted DS does NOT match — a registrar that accepts it without validation")
+		fmt.Println("takes the whole domain offline for every validating resolver (deployment: broken)")
+	}
+}

@@ -1,0 +1,3 @@
+module securepki.org/registrarsec
+
+go 1.23

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+func TestGroupOperator(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ns01.domaincontrol.com", "domaincontrol.com"},
+		{"NS02.DOMAINCONTROL.COM", "domaincontrol.com"},
+		{"dns1.registrar-servers.com", "registrar-servers.com"},
+		{"a.b.c.ovh.net", "ovh.net"},
+		// Amazon Route 53 convention collapses across TLDs.
+		{"ns-123.awsdns-13.net", "awsdns"},
+		{"ns-99.awsdns-07.co.uk", "awsdns"},
+		// 1&1 per-ccTLD servers collapse.
+		{"ns-1and1.co.uk", "1and1"},
+		{"ns.1and1.fr", "1and1"},
+		{"", ""},
+		{"com", "com"},
+	}
+	for _, c := range cases {
+		if got := GroupOperator(c.in); got != c.want {
+			t.Errorf("GroupOperator(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := GroupOperatorAll([]string{"ns1.ovh.net", "ns2.other.net"}); got != "ovh.net" {
+		t.Errorf("GroupOperatorAll = %q", got)
+	}
+	if got := GroupOperatorAll(nil); got != "" {
+		t.Errorf("GroupOperatorAll(nil) = %q", got)
+	}
+}
+
+func TestRecordDeployment(t *testing.T) {
+	cases := []struct {
+		rec  Record
+		want dnssec.Deployment
+	}{
+		{Record{}, dnssec.DeploymentNone},
+		{Record{HasDNSKEY: true}, dnssec.DeploymentPartial},
+		{Record{HasDNSKEY: true, HasDS: true, ChainValid: true}, dnssec.DeploymentFull},
+		{Record{HasDNSKEY: true, HasDS: true}, dnssec.DeploymentBroken},
+	}
+	for i, c := range cases {
+		if got := c.rec.Deployment(); got != c.want {
+			t.Errorf("case %d: %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if s.Latest() != nil || s.Len() != 0 {
+		t.Error("empty store misbehaves")
+	}
+	d1, d2 := simtime.Date(2016, 1, 1), simtime.Date(2016, 6, 1)
+	s.Add(&Snapshot{Day: d2})
+	s.Add(&Snapshot{Day: d1})
+	days := s.Days()
+	if len(days) != 2 || days[0] != d1 || days[1] != d2 {
+		t.Errorf("days: %v", days)
+	}
+	if s.Latest().Day != d2 {
+		t.Errorf("latest: %v", s.Latest().Day)
+	}
+	if s.Get(d1) == nil || s.Get(simtime.Date(2015, 1, 1)) != nil {
+		t.Error("Get wrong")
+	}
+	// Replacement.
+	s.Add(&Snapshot{Day: d1, Records: []Record{{Domain: "x.com"}}})
+	if len(s.Get(d1).Records) != 1 || s.Len() != 2 {
+		t.Error("replacement failed")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	store := NewStore()
+	store.Add(&Snapshot{Day: simtime.Date(2016, 1, 1), Records: []Record{
+		{Domain: "a.com", TLD: "com", Operator: "op.net", NSHosts: []string{"ns1.op.net", "ns2.op.net"},
+			HasDNSKEY: true, HasRRSIG: true, HasDS: true, ChainValid: true},
+		{Domain: "b.com", TLD: "com", Operator: "other.net", NSHosts: []string{"ns1.other.net"}},
+	}})
+	store.Add(&Snapshot{Day: simtime.Date(2016, 6, 1), Records: []Record{
+		{Domain: "a.com", TLD: "com", Operator: "op.net", NSHosts: []string{"ns1.op.net"},
+			HasDNSKEY: true, HasRRSIG: true},
+	}})
+	var buf bytes.Buffer
+	if err := store.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("snapshots: %d", got.Len())
+	}
+	s1 := got.Get(simtime.Date(2016, 1, 1))
+	if len(s1.Records) != 2 {
+		t.Fatalf("records: %d", len(s1.Records))
+	}
+	if !reflect.DeepEqual(s1.Records, store.Get(simtime.Date(2016, 1, 1)).Records) {
+		t.Errorf("records differ:\n%+v\n%+v", s1.Records, store.Get(simtime.Date(2016, 1, 1)).Records)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"a.com\tcom\top\tns\ttrue\ttrue\ttrue\ttrue\n", // record before header
+		"#snapshot\n",                                            // missing day
+		"#snapshot\tnot-a-date\t1\n",                             // bad day
+		"#snapshot\t2016-01-01\t1\na.com\tcom\top\n",             // short record
+		"#snapshot\t2016-01-01\t1\na\tcom\top\tns\tx\tt\tt\tt\n", // bad bool
+	}
+	for i, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Empty input yields an empty store.
+	store, err := ReadTSV(strings.NewReader(""))
+	if err != nil || store.Len() != 0 {
+		t.Errorf("empty input: %v, %d", err, store.Len())
+	}
+}

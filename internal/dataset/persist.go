@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// Snapshot persistence in a TSV format close to what OpenINTEL publishes:
+// one record per line, a header line naming the day. Archives written by
+// regsec-scan can be re-read by regsec-report and by downstream tooling.
+
+// tsvHeader introduces one snapshot section.
+const tsvHeader = "#snapshot"
+
+// WriteTSV serializes the snapshot.
+func (s *Snapshot) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\t%s\t%d\n", tsvHeader, s.Day, len(s.Records))
+	for i := range s.Records {
+		r := &s.Records[i]
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%t\t%t\t%t\t%t\n",
+			r.Domain, r.TLD, r.Operator, strings.Join(r.NSHosts, ","),
+			r.HasDNSKEY, r.HasRRSIG, r.HasDS, r.ChainValid)
+	}
+	return bw.Flush()
+}
+
+// WriteTSV serializes every snapshot in the store, oldest first.
+func (s *Store) WriteTSV(w io.Writer) error {
+	for _, day := range s.Days() {
+		if err := s.Get(day).WriteTSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTSV parses one or more snapshot sections into a store.
+func ReadTSV(r io.Reader) (*Store, error) {
+	store := NewStore()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cur *Snapshot
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if fields[0] == tsvHeader {
+			if cur != nil {
+				store.Add(cur)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("dataset: line %d: bad snapshot header", lineNo)
+			}
+			day, err := simtime.Parse(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+			cur = &Snapshot{Day: day}
+			if len(fields) >= 3 {
+				if n, err := strconv.Atoi(fields[2]); err == nil {
+					cur.Records = make([]Record, 0, n)
+				}
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("dataset: line %d: record before snapshot header", lineNo)
+		}
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("dataset: line %d: %d fields, want 8", lineNo, len(fields))
+		}
+		rec := Record{Domain: fields[0], TLD: fields[1], Operator: fields[2]}
+		if fields[3] != "" {
+			rec.NSHosts = strings.Split(fields[3], ",")
+		}
+		bools := [4]*bool{&rec.HasDNSKEY, &rec.HasRRSIG, &rec.HasDS, &rec.ChainValid}
+		for i, f := range fields[4:] {
+			v, err := strconv.ParseBool(f)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad bool %q", lineNo, f)
+			}
+			*bools[i] = v
+		}
+		cur.Records = append(cur.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		store.Add(cur)
+	}
+	return store, nil
+}

@@ -1,0 +1,261 @@
+// Package diagnose implements a DNSViz/DNSSEC-Debugger-style health check
+// (the administrator tooling the paper's related work points to): given a
+// domain, it pulls the delegation, DS, DNSKEY and RRSIG records through
+// live queries and reports every misconfiguration in the chain — missing
+// DS (partial deployment), DS matching no key, expired or invalid
+// signatures, unsigned RRsets, missing denial-of-existence chains.
+//
+// The paper's probe uses the same checks to verify what a registrar
+// actually deployed; this package packages them for an administrator
+// audience (cmd/regsec-check).
+package diagnose
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Info: expected state worth reporting (e.g. "zone is unsigned").
+	Info Severity = iota
+	// Warning: works today but fragile (e.g. no denial chain).
+	Warning
+	// Error: validation fails for DNSSEC-aware resolvers.
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return "info"
+}
+
+// Code identifies a finding class.
+type Code string
+
+// Finding codes.
+const (
+	CodeNoDelegation Code = "NO_DELEGATION"
+	CodeUnsigned     Code = "UNSIGNED"
+	CodePartial      Code = "PARTIAL_NO_DS"
+	CodeDSNoMatch    Code = "DS_MATCHES_NO_KEY"
+	CodeDSOrphan     Code = "DS_WITHOUT_DNSKEY"
+	CodeKeyUnsigned  Code = "DNSKEY_UNSIGNED"
+	CodeSigExpired   Code = "RRSIG_EXPIRED"
+	CodeSigNotYet    Code = "RRSIG_NOT_YET_VALID"
+	CodeSigInvalid   Code = "RRSIG_INVALID"
+	CodeNoDenial     Code = "NO_DENIAL_CHAIN"
+	CodeNoSEP        Code = "NO_SEP_KEY"
+	CodeHealthy      Code = "CHAIN_OK"
+)
+
+// Finding is one diagnostic result.
+type Finding struct {
+	Severity Severity
+	Code     Code
+	Message  string
+}
+
+// Report is the outcome of a domain check.
+type Report struct {
+	Domain     string
+	Deployment dnssec.Deployment
+	Findings   []Finding
+}
+
+// Errors returns only the error-severity findings.
+func (r *Report) Errors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (r *Report) add(sev Severity, code Code, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{Severity: sev, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// Checker runs diagnostics through an exchanger.
+type Checker struct {
+	// Exchange issues queries.
+	Exchange dnsserver.Exchanger
+	// ParentServer answers NS/DS queries for the domain (the TLD server).
+	ParentServer string
+	// Now anchors signature-window checks (time.Now when nil).
+	Now func() time.Time
+
+	qid uint16
+}
+
+func (c *Checker) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+func (c *Checker) query(ctx context.Context, server, name string, t dnswire.Type) (*dnswire.Message, error) {
+	c.qid++
+	q := dnswire.NewQuery(c.qid, name, t)
+	q.SetEDNS(4096, true)
+	return c.Exchange.Exchange(ctx, server, q)
+}
+
+// Check diagnoses one domain.
+func (c *Checker) Check(ctx context.Context, domain string) (*Report, error) {
+	domain = dnswire.CanonicalName(domain)
+	rep := &Report{Domain: domain}
+
+	// 1. Delegation from the parent.
+	resp, err := c.query(ctx, c.ParentServer, domain, dnswire.TypeNS)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose: querying parent: %w", err)
+	}
+	var nsHosts []string
+	for _, section := range [][]*dnswire.RR{resp.Authority, resp.Answers} {
+		for _, rr := range section {
+			if rr.Type == dnswire.TypeNS && rr.Name == domain {
+				nsHosts = append(nsHosts, rr.Data.(*dnswire.NS).Host)
+			}
+		}
+	}
+	if len(nsHosts) == 0 {
+		rep.add(Error, CodeNoDelegation, "no NS delegation for %s at the parent", domain)
+		return rep, nil
+	}
+
+	// 2. DS from the parent.
+	var dss []*dnswire.DS
+	if resp, err := c.query(ctx, c.ParentServer, domain, dnswire.TypeDS); err == nil {
+		for _, rr := range resp.Answers {
+			if ds, ok := rr.Data.(*dnswire.DS); ok && rr.Name == domain {
+				dss = append(dss, ds)
+			}
+		}
+	}
+
+	// 3. DNSKEY + RRSIGs from the child.
+	var keys []*dnswire.DNSKEY
+	var keyRRs []*dnswire.RR
+	var sigs []*dnswire.RRSIG
+	for _, host := range nsHosts {
+		resp, err := c.query(ctx, host, domain, dnswire.TypeDNSKEY)
+		if err != nil || resp.RCode != dnswire.RCodeSuccess {
+			continue
+		}
+		for _, rr := range resp.Answers {
+			switch d := rr.Data.(type) {
+			case *dnswire.DNSKEY:
+				keys = append(keys, d)
+				keyRRs = append(keyRRs, rr)
+			case *dnswire.RRSIG:
+				if d.TypeCovered == dnswire.TypeDNSKEY {
+					sigs = append(sigs, d)
+				}
+			}
+		}
+		break
+	}
+
+	chainValid := c.gradeChain(rep, domain, dss, keys, keyRRs, sigs)
+	rep.Deployment = dnssec.Classify(len(keys) > 0, len(dss) > 0, chainValid)
+
+	// 4. Denial-of-existence chain.
+	if len(keys) > 0 {
+		c.checkDenial(ctx, rep, domain, nsHosts)
+	}
+
+	if len(rep.Errors()) == 0 && rep.Deployment == dnssec.DeploymentFull {
+		rep.add(Info, CodeHealthy, "chain of trust is complete and valid")
+	}
+	return rep, nil
+}
+
+// gradeChain evaluates the DS↔DNSKEY↔RRSIG linkage and reports whether it
+// validates.
+func (c *Checker) gradeChain(rep *Report, domain string, dss []*dnswire.DS, keys []*dnswire.DNSKEY, keyRRs []*dnswire.RR, sigs []*dnswire.RRSIG) bool {
+	switch {
+	case len(keys) == 0 && len(dss) == 0:
+		rep.add(Info, CodeUnsigned, "%s is unsigned (no DNSKEY, no DS)", domain)
+		return false
+	case len(keys) == 0 && len(dss) > 0:
+		rep.add(Error, CodeDSOrphan,
+			"the parent publishes %d DS record(s) but %s serves no DNSKEY — validating resolvers cannot resolve this domain", len(dss), domain)
+		return false
+	case len(keys) > 0 && len(dss) == 0:
+		rep.add(Error, CodePartial,
+			"%s publishes DNSKEYs but no DS exists at the parent: the chain of trust is broken (partial deployment); ask your registrar to install the DS", domain)
+	}
+	hasSEP := false
+	for _, k := range keys {
+		if k.IsSEP() {
+			hasSEP = true
+		}
+	}
+	if len(keys) > 0 && !hasSEP {
+		rep.add(Warning, CodeNoSEP, "no DNSKEY carries the SEP flag; key management tooling may mishandle rollovers")
+	}
+	if len(dss) > 0 && len(keys) > 0 && !dnssec.MatchAnyDS(domain, dss, keys) {
+		rep.add(Error, CodeDSNoMatch,
+			"none of the %d DS record(s) matches a served DNSKEY — a mis-uploaded DS; the domain is bogus for validating resolvers", len(dss))
+		return false
+	}
+	if len(keys) > 0 && len(sigs) == 0 {
+		rep.add(Error, CodeKeyUnsigned, "the DNSKEY RRset is not signed")
+		return false
+	}
+	now := c.now()
+	valid := false
+	for _, sig := range sigs {
+		err := dnssec.VerifyWithAnyKey(keyRRs, sig, keys, now)
+		switch {
+		case err == nil:
+			valid = true
+		case uint32(now.Unix()) > sig.Expiration:
+			rep.add(Error, CodeSigExpired, "RRSIG over DNSKEY expired %s",
+				time.Unix(int64(sig.Expiration), 0).UTC().Format("2006-01-02"))
+		case uint32(now.Unix()) < sig.Inception:
+			rep.add(Error, CodeSigNotYet, "RRSIG over DNSKEY not valid until %s",
+				time.Unix(int64(sig.Inception), 0).UTC().Format("2006-01-02"))
+		default:
+			rep.add(Error, CodeSigInvalid, "RRSIG over DNSKEY does not verify: %v", err)
+		}
+	}
+	return valid && len(dss) > 0 && dnssec.MatchAnyDS(domain, dss, keys)
+}
+
+// checkDenial probes a guaranteed-nonexistent name and checks that the zone
+// offers NSEC or NSEC3 proofs.
+func (c *Checker) checkDenial(ctx context.Context, rep *Report, domain string, nsHosts []string) {
+	probe := "regsec-denial-probe." + domain
+	for _, host := range nsHosts {
+		resp, err := c.query(ctx, host, probe, dnswire.TypeA)
+		if err != nil {
+			continue
+		}
+		for _, rr := range resp.Authority {
+			if rr.Type == dnswire.TypeNSEC || rr.Type == dnswire.TypeNSEC3 {
+				return // denial material present
+			}
+		}
+		rep.add(Warning, CodeNoDenial,
+			"the zone is signed but offers no NSEC/NSEC3 proof for nonexistent names; negative answers cannot be authenticated")
+		return
+	}
+}

@@ -1,0 +1,205 @@
+package diagnose_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/diagnose"
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+var testNow = time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func newChecker(t *testing.T, h *dnstest.Hierarchy) *diagnose.Checker {
+	t.Helper()
+	return &diagnose.Checker{
+		Exchange:     h.Net,
+		ParentServer: dnstest.TLDServerAddr("com"),
+		Now:          func() time.Time { return testNow },
+	}
+}
+
+func hasCode(rep *diagnose.Report, code diagnose.Code) bool {
+	for _, f := range rep.Findings {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckHealthyDomain(t *testing.T) {
+	h, err := dnstest.NewHierarchy(testNow, "com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fully deployed domain with an NSEC chain.
+	child, _, err := h.AddDomain("healthy.com", "ns1.op.net", dnstest.Unsigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := zone.NewSigner(dnswire.AlgED25519, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer.AddNSEC = true
+	if err := signer.Sign(child); err != nil {
+		t.Fatal(err)
+	}
+	tz := h.TLDZone("com")
+	dss, _ := signer.DSRecords("healthy.com", dnswire.DigestSHA256)
+	for _, ds := range dss {
+		tz.MustAdd(dnswire.NewRR("healthy.com", 86400, ds))
+	}
+	if err := h.TLDSigner("com").Sign(tz); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := newChecker(t, h).Check(context.Background(), "healthy.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deployment != dnssec.DeploymentFull {
+		t.Errorf("deployment: %v", rep.Deployment)
+	}
+	if len(rep.Errors()) != 0 {
+		t.Errorf("errors on healthy domain: %+v", rep.Errors())
+	}
+	if !hasCode(rep, diagnose.CodeHealthy) {
+		t.Errorf("missing CHAIN_OK: %+v", rep.Findings)
+	}
+	if hasCode(rep, diagnose.CodeNoDenial) {
+		t.Error("NSEC zone flagged for missing denial")
+	}
+}
+
+func TestCheckMisconfigurations(t *testing.T) {
+	h, err := dnstest.NewHierarchy(testNow, "com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []struct {
+		name string
+		mode dnstest.DomainMode
+	}{
+		{"plain.com", dnstest.Unsigned},
+		{"partial.com", dnstest.Partial},
+		{"full.com", dnstest.Full},
+		{"bogus.com", dnstest.BogusDS},
+	} {
+		if _, _, err := h.AddDomain(d.name, "ns1.op.net", d.mode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := newChecker(t, h)
+	ctx := context.Background()
+
+	cases := []struct {
+		domain     string
+		deployment dnssec.Deployment
+		code       diagnose.Code
+		severity   diagnose.Severity
+	}{
+		{"plain.com", dnssec.DeploymentNone, diagnose.CodeUnsigned, diagnose.Info},
+		{"partial.com", dnssec.DeploymentPartial, diagnose.CodePartial, diagnose.Error},
+		{"bogus.com", dnssec.DeploymentBroken, diagnose.CodeDSNoMatch, diagnose.Error},
+	}
+	for _, tc := range cases {
+		rep, err := c.Check(ctx, tc.domain)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.domain, err)
+		}
+		if rep.Deployment != tc.deployment {
+			t.Errorf("%s: deployment %v, want %v", tc.domain, rep.Deployment, tc.deployment)
+		}
+		if !hasCode(rep, tc.code) {
+			t.Errorf("%s: missing %s in %+v", tc.domain, tc.code, rep.Findings)
+		}
+	}
+	// full.com is signed WITHOUT a denial chain: warn.
+	rep, err := c.Check(ctx, "full.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deployment != dnssec.DeploymentFull {
+		t.Errorf("full.com: %v", rep.Deployment)
+	}
+	if !hasCode(rep, diagnose.CodeNoDenial) {
+		t.Errorf("full.com: missing NO_DENIAL_CHAIN warning: %+v", rep.Findings)
+	}
+	// Unregistered domain.
+	rep, err = c.Check(ctx, "ghost.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(rep, diagnose.CodeNoDelegation) {
+		t.Errorf("ghost.com: %+v", rep.Findings)
+	}
+}
+
+func TestCheckExpiredSignature(t *testing.T) {
+	h, err := dnstest.NewHierarchy(testNow, "com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, _, err := h.AddDomain("stale.com", "ns1.op.net", dnstest.Unsigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := zone.NewSigner(dnswire.AlgED25519, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer.Inception = testNow.AddDate(0, -3, 0)
+	signer.Expiration = testNow.AddDate(0, -1, 0)
+	if err := signer.Sign(child); err != nil {
+		t.Fatal(err)
+	}
+	tz := h.TLDZone("com")
+	dss, _ := signer.DSRecords("stale.com", dnswire.DigestSHA256)
+	for _, ds := range dss {
+		tz.MustAdd(dnswire.NewRR("stale.com", 86400, ds))
+	}
+	if err := h.TLDSigner("com").Sign(tz); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := newChecker(t, h).Check(context.Background(), "stale.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(rep, diagnose.CodeSigExpired) {
+		t.Errorf("missing RRSIG_EXPIRED: %+v", rep.Findings)
+	}
+	if rep.Deployment != dnssec.DeploymentBroken {
+		t.Errorf("deployment: %v", rep.Deployment)
+	}
+}
+
+func TestCheckOrphanDS(t *testing.T) {
+	h, err := dnstest.NewHierarchy(testNow, "com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsigned zone behind a DS record: the chat-misapply / stale-DS case.
+	if _, _, err := h.AddDomain("orphan.com", "ns1.op.net", dnstest.Unsigned); err != nil {
+		t.Fatal(err)
+	}
+	tz := h.TLDZone("com")
+	tz.MustAdd(dnswire.NewRR("orphan.com", 86400, &dnswire.DS{
+		KeyTag: 1, Algorithm: dnswire.AlgED25519, DigestType: dnswire.DigestSHA256, Digest: make([]byte, 32),
+	}))
+	if err := h.TLDSigner("com").Sign(tz); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := newChecker(t, h).Check(context.Background(), "orphan.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(rep, diagnose.CodeDSOrphan) {
+		t.Errorf("missing DS_WITHOUT_DNSKEY: %+v", rep.Findings)
+	}
+}

@@ -1,0 +1,118 @@
+package dnssec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// Authenticated denial of existence (RFC 4035 section 5.4): verifying from
+// NSEC records that a name or type provably does not exist in a signed
+// zone. The validator uses this to distinguish a genuine NXDOMAIN from one
+// forged by an attacker — the class of attack (cache poisoning, hijacking)
+// that motivates DNSSEC in the first place.
+
+// Errors returned by denial verification.
+var (
+	ErrNoDenialProof  = errors.New("dnssec: no NSEC record covers the name")
+	ErrTypeNotDenied  = errors.New("dnssec: NSEC proves the type exists")
+	ErrDenialUnsigned = errors.New("dnssec: denial NSEC is not validly signed")
+)
+
+// DenialProof is one NSEC record with its signatures, as extracted from an
+// authority section.
+type DenialProof struct {
+	Owner string
+	NSEC  *dnswire.NSEC
+	RRs   []*dnswire.RR // the NSEC RRset (for signature verification)
+	Sigs  []*dnswire.RRSIG
+}
+
+// ExtractDenialProofs collects the NSEC records (and their RRSIGs) from an
+// authority section.
+func ExtractDenialProofs(authority []*dnswire.RR) []*DenialProof {
+	byOwner := map[string]*DenialProof{}
+	var order []string
+	for _, rr := range authority {
+		if nsec, ok := rr.Data.(*dnswire.NSEC); ok {
+			p, exists := byOwner[rr.Name]
+			if !exists {
+				p = &DenialProof{Owner: rr.Name, NSEC: nsec}
+				byOwner[rr.Name] = p
+				order = append(order, rr.Name)
+			}
+			p.RRs = append(p.RRs, rr)
+		}
+	}
+	for _, rr := range authority {
+		if sig, ok := rr.Data.(*dnswire.RRSIG); ok && sig.TypeCovered == dnswire.TypeNSEC {
+			if p, exists := byOwner[rr.Name]; exists {
+				p.Sigs = append(p.Sigs, sig)
+			}
+		}
+	}
+	out := make([]*DenialProof, 0, len(order))
+	for _, owner := range order {
+		out = append(out, byOwner[owner])
+	}
+	return out
+}
+
+// Covers reports whether the proof's (owner, next) interval contains qname
+// in canonical order, with wrap-around for the chain's last record.
+func (p *DenialProof) Covers(qname string) bool {
+	cmpOwner := dnswire.CompareCanonical(p.Owner, qname)
+	cmpNext := dnswire.CompareCanonical(qname, p.NSEC.NextName)
+	if dnswire.CompareCanonical(p.Owner, p.NSEC.NextName) < 0 {
+		return cmpOwner < 0 && cmpNext < 0
+	}
+	return cmpOwner < 0 || cmpNext < 0
+}
+
+// VerifyNameDenial checks that the NSEC proofs authenticate the
+// nonexistence of qname: some validly signed NSEC must cover it.
+func VerifyNameDenial(qname string, proofs []*DenialProof, keys []*dnswire.DNSKEY, now time.Time) error {
+	qname = dnswire.CanonicalName(qname)
+	for _, p := range proofs {
+		if !p.Covers(qname) {
+			continue
+		}
+		if err := verifyProofSig(p, keys, now); err != nil {
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrNoDenialProof, qname)
+}
+
+// VerifyTypeDenial checks a NODATA response: an NSEC at qname itself whose
+// type bitmap excludes t, validly signed.
+func VerifyTypeDenial(qname string, t dnswire.Type, proofs []*DenialProof, keys []*dnswire.DNSKEY, now time.Time) error {
+	qname = dnswire.CanonicalName(qname)
+	for _, p := range proofs {
+		if p.Owner != qname {
+			continue
+		}
+		for _, present := range p.NSEC.Types {
+			if present == t {
+				return fmt.Errorf("%w: %v at %s", ErrTypeNotDenied, t, qname)
+			}
+		}
+		if err := verifyProofSig(p, keys, now); err != nil {
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: no NSEC at %s", ErrNoDenialProof, qname)
+}
+
+func verifyProofSig(p *DenialProof, keys []*dnswire.DNSKEY, now time.Time) error {
+	for _, sig := range p.Sigs {
+		if VerifyWithAnyKey(p.RRs, sig, keys, now) == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: owner %s", ErrDenialUnsigned, p.Owner)
+}

@@ -1,0 +1,94 @@
+package dnssec
+
+import (
+	"testing"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// buildNSECChain constructs a small signed NSEC chain for a zone with
+// names: apex, alpha, delta (next wraps back to apex).
+func buildNSECChain(t *testing.T) (proofs []*DenialProof, keys []*dnswire.DNSKEY) {
+	t.Helper()
+	key := genKey(t, dnswire.AlgED25519, dnswire.FlagsZSK)
+	keys = []*dnswire.DNSKEY{key.DNSKEY()}
+	entries := []struct {
+		owner, next string
+		types       []dnswire.Type
+	}{
+		{"example.org", "alpha.example.org", []dnswire.Type{dnswire.TypeSOA, dnswire.TypeNS, dnswire.TypeDNSKEY}},
+		{"alpha.example.org", "delta.example.org", []dnswire.Type{dnswire.TypeA}},
+		{"delta.example.org", "example.org", []dnswire.Type{dnswire.TypeA, dnswire.TypeTXT}},
+	}
+	var authority []*dnswire.RR
+	for _, e := range entries {
+		rr := dnswire.NewRR(e.owner, 300, &dnswire.NSEC{NextName: e.next, Types: e.types})
+		sig, err := SignRRSet([]*dnswire.RR{rr}, key, "example.org", testWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		authority = append(authority, rr, sig)
+	}
+	return ExtractDenialProofs(authority), keys
+}
+
+func TestVerifyNameDenial(t *testing.T) {
+	proofs, keys := buildNSECChain(t)
+	if len(proofs) != 3 {
+		t.Fatalf("extracted %d proofs", len(proofs))
+	}
+	// beta sorts between alpha and delta: covered.
+	if err := VerifyNameDenial("beta.example.org", proofs, keys, testNow); err != nil {
+		t.Errorf("beta denial: %v", err)
+	}
+	// zulu sorts after delta: covered by the wrap-around record.
+	if err := VerifyNameDenial("zulu.example.org", proofs, keys, testNow); err != nil {
+		t.Errorf("zulu denial: %v", err)
+	}
+	// alpha EXISTS: no NSEC covers it, denial must fail.
+	if err := VerifyNameDenial("alpha.example.org", proofs, keys, testNow); err == nil {
+		t.Error("denial of an existing name verified")
+	}
+}
+
+func TestVerifyNameDenialRejectsUnsigned(t *testing.T) {
+	proofs, keys := buildNSECChain(t)
+	for _, p := range proofs {
+		p.Sigs = nil
+	}
+	if err := VerifyNameDenial("beta.example.org", proofs, keys, testNow); err == nil {
+		t.Error("unsigned denial accepted")
+	}
+}
+
+func TestVerifyNameDenialRejectsForgedNSEC(t *testing.T) {
+	proofs, keys := buildNSECChain(t)
+	// An attacker swaps in an NSEC with a wider span but cannot sign it.
+	stranger := genKey(t, dnswire.AlgED25519, dnswire.FlagsZSK)
+	rr := dnswire.NewRR("a.example.org", 300, &dnswire.NSEC{NextName: "z.example.org"})
+	sig, err := SignRRSet([]*dnswire.RR{rr}, stranger, "example.org", testWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := ExtractDenialProofs([]*dnswire.RR{rr, sig})
+	if err := VerifyNameDenial("beta.example.org", forged, keys, testNow); err == nil {
+		t.Error("forged NSEC accepted")
+	}
+	_ = proofs
+}
+
+func TestVerifyTypeDenial(t *testing.T) {
+	proofs, keys := buildNSECChain(t)
+	// alpha has only A: an MX query is provably NODATA.
+	if err := VerifyTypeDenial("alpha.example.org", dnswire.TypeMX, proofs, keys, testNow); err != nil {
+		t.Errorf("MX type denial: %v", err)
+	}
+	// A exists at alpha: type denial must fail.
+	if err := VerifyTypeDenial("alpha.example.org", dnswire.TypeA, proofs, keys, testNow); err == nil {
+		t.Error("denied a type that exists")
+	}
+	// No NSEC at a nonexistent name.
+	if err := VerifyTypeDenial("ghost.example.org", dnswire.TypeA, proofs, keys, testNow); err == nil {
+		t.Error("type denial without an NSEC at the owner")
+	}
+}

@@ -1,0 +1,97 @@
+package dnssec
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/sha512"
+	"fmt"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// ComputeDS derives the DS record for a child zone's DNSKEY (RFC 4034
+// section 5.1.4): digest over the owner name in canonical wire form
+// concatenated with the DNSKEY RDATA.
+func ComputeDS(childZone string, dk *dnswire.DNSKEY, dt dnswire.DigestType) (*dnswire.DS, error) {
+	childZone = dnswire.CanonicalName(childZone)
+	rr := dnswire.NewRR(childZone, 0, dk)
+	wire, err := rr.CanonicalWire()
+	if err != nil {
+		return nil, err
+	}
+	// CanonicalWire is name | type | class | ttl | rdlen | rdata; the DS
+	// digest input is name | rdata, so carve both pieces out.
+	nameLen := wireNameLen(childZone)
+	input := append(append([]byte(nil), wire[:nameLen]...), wire[nameLen+10:]...)
+	var digest []byte
+	switch dt {
+	case dnswire.DigestSHA1:
+		h := sha1.Sum(input)
+		digest = h[:]
+	case dnswire.DigestSHA256:
+		h := sha256.Sum256(input)
+		digest = h[:]
+	case dnswire.DigestSHA384:
+		h := sha512.Sum384(input)
+		digest = h[:]
+	default:
+		return nil, fmt.Errorf("dnssec: unsupported digest type %v", dt)
+	}
+	return &dnswire.DS{
+		KeyTag:     dk.KeyTag(),
+		Algorithm:  dk.Algorithm,
+		DigestType: dt,
+		Digest:     digest,
+	}, nil
+}
+
+// wireNameLen returns the wire length of a canonical name.
+func wireNameLen(name string) int {
+	if name == "" {
+		return 1
+	}
+	return len(name) + 2
+}
+
+// MatchDS reports whether ds is a correct digest of dk at childZone. This is
+// the check registrars should — but in the paper mostly do not — perform on
+// customer-supplied DS records.
+func MatchDS(childZone string, ds *dnswire.DS, dk *dnswire.DNSKEY) bool {
+	if ds.KeyTag != dk.KeyTag() || ds.Algorithm != dk.Algorithm {
+		return false
+	}
+	want, err := ComputeDS(childZone, dk, ds.DigestType)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(want.Digest, ds.Digest)
+}
+
+// MatchAnyDS reports whether any DS in the set matches any of the DNSKEYs.
+// A chain of trust needs only one valid (DS, DNSKEY) pair.
+func MatchAnyDS(childZone string, dss []*dnswire.DS, keys []*dnswire.DNSKEY) bool {
+	for _, ds := range dss {
+		for _, dk := range keys {
+			if MatchDS(childZone, ds, dk) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DSFromCDS converts a CDS RRset published by a child into the DS records a
+// registry would install (RFC 7344/8078). It returns remove=true when the
+// set is the RFC 8078 section 4 delete sentinel (algorithm 0).
+func DSFromCDS(cds []*dnswire.CDS) (out []*dnswire.DS, remove bool) {
+	for _, c := range cds {
+		if c.Algorithm == dnswire.AlgDelete {
+			return nil, true
+		}
+		d := c.DS
+		d.Digest = append([]byte(nil), c.Digest...)
+		out = append(out, &d)
+	}
+	return out, false
+}

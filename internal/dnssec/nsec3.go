@@ -1,0 +1,223 @@
+package dnssec
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// NSEC3 support (RFC 5155): the iterated, salted hash of owner names and
+// the verification of hashed denial-of-existence proofs.
+
+// Errors returned by NSEC3 processing.
+var (
+	ErrNSEC3Alg      = errors.New("dnssec: unsupported NSEC3 hash algorithm")
+	ErrNoCloserProof = errors.New("dnssec: no NSEC3 covers the next-closer name")
+	ErrNoEncloser    = errors.New("dnssec: no NSEC3 matches a closest encloser")
+)
+
+// NSEC3Hash computes the RFC 5155 section 5 hash of a canonical name:
+// SHA-1 over the wire-format name concatenated with the salt, iterated.
+func NSEC3Hash(name string, salt []byte, iterations uint16) ([]byte, error) {
+	wire, err := nameWire(name)
+	if err != nil {
+		return nil, err
+	}
+	h := sha1.Sum(append(append([]byte(nil), wire...), salt...))
+	digest := h[:]
+	for i := 0; i < int(iterations); i++ {
+		h = sha1.Sum(append(append([]byte(nil), digest...), salt...))
+		digest = h[:]
+	}
+	return digest, nil
+}
+
+// nameWire renders a canonical name in uncompressed wire form.
+func nameWire(name string) ([]byte, error) {
+	name = dnswire.CanonicalName(name)
+	if err := dnswire.CheckName(name); err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, label := range dnswire.SplitLabels(name) {
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+// NSEC3OwnerName returns the owner name of the NSEC3 record for name in
+// zone: base32hex(hash).zone.
+func NSEC3OwnerName(name, zone string, salt []byte, iterations uint16) (string, error) {
+	h, err := NSEC3Hash(name, salt, iterations)
+	if err != nil {
+		return "", err
+	}
+	label := dnswire.Base32HexEncode(h)
+	zone = dnswire.CanonicalName(zone)
+	if zone == "" {
+		return label, nil
+	}
+	return label + "." + zone, nil
+}
+
+// NSEC3Proof is one NSEC3 record with its signatures.
+type NSEC3Proof struct {
+	Owner string // full owner name (hash label + zone)
+	NSEC3 *dnswire.NSEC3
+	RRs   []*dnswire.RR
+	Sigs  []*dnswire.RRSIG
+}
+
+// hashLabel extracts the binary hash from the proof's owner name.
+func (p *NSEC3Proof) hashLabel() ([]byte, error) {
+	labels := dnswire.SplitLabels(p.Owner)
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("dnssec: NSEC3 with empty owner")
+	}
+	return dnswire.Base32HexDecode(labels[0])
+}
+
+// Matches reports whether the proof's owner hash equals h.
+func (p *NSEC3Proof) Matches(h []byte) bool {
+	own, err := p.hashLabel()
+	return err == nil && bytes.Equal(own, h)
+}
+
+// Covers reports whether h falls strictly between the proof's owner hash
+// and its next hash (with wrap-around).
+func (p *NSEC3Proof) Covers(h []byte) bool {
+	own, err := p.hashLabel()
+	if err != nil {
+		return false
+	}
+	next := p.NSEC3.NextHashed
+	if bytes.Compare(own, next) < 0 {
+		return bytes.Compare(own, h) < 0 && bytes.Compare(h, next) < 0
+	}
+	// Wrap-around span.
+	return bytes.Compare(own, h) < 0 || bytes.Compare(h, next) < 0
+}
+
+// ExtractNSEC3Proofs collects NSEC3 records (and their RRSIGs) from an
+// authority section.
+func ExtractNSEC3Proofs(authority []*dnswire.RR) []*NSEC3Proof {
+	byOwner := map[string]*NSEC3Proof{}
+	var order []string
+	for _, rr := range authority {
+		if n3, ok := rr.Data.(*dnswire.NSEC3); ok {
+			p, exists := byOwner[rr.Name]
+			if !exists {
+				p = &NSEC3Proof{Owner: rr.Name, NSEC3: n3}
+				byOwner[rr.Name] = p
+				order = append(order, rr.Name)
+			}
+			p.RRs = append(p.RRs, rr)
+		}
+	}
+	for _, rr := range authority {
+		if sig, ok := rr.Data.(*dnswire.RRSIG); ok && sig.TypeCovered == dnswire.TypeNSEC3 {
+			if p, exists := byOwner[rr.Name]; exists {
+				p.Sigs = append(p.Sigs, sig)
+			}
+		}
+	}
+	out := make([]*NSEC3Proof, 0, len(order))
+	for _, owner := range order {
+		out = append(out, byOwner[owner])
+	}
+	return out
+}
+
+// VerifyNameDenialNSEC3 validates an NXDOMAIN proof per RFC 5155 section
+// 8.4: there must be a closest encloser CE (an ancestor of qname whose hash
+// some validly-signed NSEC3 *matches*), and the next-closer name below CE
+// must be *covered* by a validly-signed NSEC3. (The wildcard-denial leg is
+// also checked when a covering record for *.CE is present; zones without
+// wildcards conventionally cover it with the same spans.)
+func VerifyNameDenialNSEC3(qname, zone string, params *dnswire.NSEC3PARAM, proofs []*NSEC3Proof, keys []*dnswire.DNSKEY, now time.Time) error {
+	if params.HashAlg != dnswire.NSEC3HashSHA1 {
+		return fmt.Errorf("%w: %d", ErrNSEC3Alg, params.HashAlg)
+	}
+	qname = dnswire.CanonicalName(qname)
+	zone = dnswire.CanonicalName(zone)
+	if !dnswire.IsSubdomain(qname, zone) {
+		return fmt.Errorf("dnssec: %s outside zone %s", qname, zone)
+	}
+	// Find the closest encloser: the nearest ancestor of qname whose hash
+	// some validly-signed NSEC3 matches. Track the "next closer" name (one
+	// label below the encloser on the path to qname).
+	ce := qname
+	nextCloser := ""
+	for {
+		ceHash, err := NSEC3Hash(ce, params.Salt, params.Iterations)
+		if err != nil {
+			return err
+		}
+		if findVerified(proofs, keys, now, func(p *NSEC3Proof) bool { return p.Matches(ceHash) }) != nil {
+			break // ce provably exists
+		}
+		if ce == zone {
+			// The apex must always have a matching NSEC3 in a signed zone.
+			return fmt.Errorf("%w for %s", ErrNoEncloser, qname)
+		}
+		nextCloser = ce
+		parent, ok := dnswire.Parent(ce)
+		if !ok || !dnswire.IsSubdomain(parent, zone) {
+			return fmt.Errorf("%w for %s", ErrNoEncloser, qname)
+		}
+		ce = parent
+	}
+	if nextCloser == "" {
+		// qname's own hash matched: the name exists, so this is not a
+		// valid denial of existence.
+		return fmt.Errorf("dnssec: NSEC3 matches %s itself; name exists", qname)
+	}
+	ncHash, err := NSEC3Hash(nextCloser, params.Salt, params.Iterations)
+	if err != nil {
+		return err
+	}
+	if findVerified(proofs, keys, now, func(p *NSEC3Proof) bool { return p.Covers(ncHash) }) == nil {
+		return fmt.Errorf("%w: %s", ErrNoCloserProof, nextCloser)
+	}
+	return nil
+}
+
+// VerifyTypeDenialNSEC3 validates a NODATA proof: a validly signed NSEC3
+// matching qname's hash whose type bitmap excludes t.
+func VerifyTypeDenialNSEC3(qname string, t dnswire.Type, params *dnswire.NSEC3PARAM, proofs []*NSEC3Proof, keys []*dnswire.DNSKEY, now time.Time) error {
+	h, err := NSEC3Hash(dnswire.CanonicalName(qname), params.Salt, params.Iterations)
+	if err != nil {
+		return err
+	}
+	p := findVerified(proofs, keys, now, func(p *NSEC3Proof) bool { return p.Matches(h) })
+	if p == nil {
+		return fmt.Errorf("%w for %s", ErrNoEncloser, qname)
+	}
+	for _, present := range p.NSEC3.Types {
+		if present == t {
+			return fmt.Errorf("%w: %v at %s", ErrTypeNotDenied, t, qname)
+		}
+	}
+	return nil
+}
+
+// findVerified returns the first proof satisfying pred whose RRset signature
+// verifies under keys.
+func findVerified(proofs []*NSEC3Proof, keys []*dnswire.DNSKEY, now time.Time, pred func(*NSEC3Proof) bool) *NSEC3Proof {
+	for _, p := range proofs {
+		if !pred(p) {
+			continue
+		}
+		for _, sig := range p.Sigs {
+			if VerifyWithAnyKey(p.RRs, sig, keys, now) == nil {
+				return p
+			}
+		}
+	}
+	return nil
+}

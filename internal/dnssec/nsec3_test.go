@@ -1,0 +1,188 @@
+package dnssec
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"testing"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+func TestNSEC3HashReference(t *testing.T) {
+	// Independent reference implementation of RFC 5155 section 5: the
+	// production code must agree for assorted salts and iteration counts.
+	ref := func(name string, salt []byte, iterations uint16) []byte {
+		var wire []byte
+		for _, label := range dnswire.SplitLabels(name) {
+			wire = append(wire, byte(len(label)))
+			wire = append(wire, label...)
+		}
+		wire = append(wire, 0)
+		d := sha1.Sum(append(wire, salt...))
+		out := d[:]
+		for i := 0; i < int(iterations); i++ {
+			d = sha1.Sum(append(out, salt...))
+			out = d[:]
+		}
+		return out
+	}
+	cases := []struct {
+		name       string
+		salt       []byte
+		iterations uint16
+	}{
+		{"example.com", nil, 0},
+		{"example.com", []byte{0xaa, 0xbb, 0xcc, 0xdd}, 12},
+		{"a.b.example.com", []byte{0x01}, 1},
+		{"", nil, 5}, // the root
+	}
+	for _, c := range cases {
+		got, err := NSEC3Hash(c.name, c.salt, c.iterations)
+		if err != nil {
+			t.Fatalf("NSEC3Hash(%q): %v", c.name, err)
+		}
+		if want := ref(c.name, c.salt, c.iterations); !bytes.Equal(got, want) {
+			t.Errorf("NSEC3Hash(%q, %x, %d) = %x, want %x", c.name, c.salt, c.iterations, got, want)
+		}
+		if len(got) != sha1.Size {
+			t.Errorf("hash length %d", len(got))
+		}
+	}
+	// Hashing is case-insensitive via canonicalization.
+	a, _ := NSEC3Hash("Example.COM", []byte{1}, 3)
+	b, _ := NSEC3Hash("example.com", []byte{1}, 3)
+	if !bytes.Equal(a, b) {
+		t.Error("hash is case-sensitive")
+	}
+	// Different salt or iterations change the hash.
+	c1, _ := NSEC3Hash("example.com", []byte{1}, 3)
+	c2, _ := NSEC3Hash("example.com", []byte{2}, 3)
+	c3, _ := NSEC3Hash("example.com", []byte{1}, 4)
+	if bytes.Equal(c1, c2) || bytes.Equal(c1, c3) {
+		t.Error("salt/iterations have no effect")
+	}
+}
+
+func TestNSEC3OwnerName(t *testing.T) {
+	owner, err := NSEC3OwnerName("www.example.com", "example.com", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dnswire.IsSubdomain(owner, "example.com") || owner == "example.com" {
+		t.Errorf("owner %q not under the zone", owner)
+	}
+	labels := dnswire.SplitLabels(owner)
+	if len(labels[0]) != 32 { // base32hex of 20 bytes
+		t.Errorf("hash label length %d", len(labels[0]))
+	}
+	h, err := dnswire.Base32HexDecode(labels[0])
+	if err != nil || len(h) != 20 {
+		t.Errorf("label does not decode: %v", err)
+	}
+}
+
+// buildNSEC3World signs a zone with an NSEC3 chain and returns denial
+// machinery for the tests below.
+func buildNSEC3World(t *testing.T) (params *dnswire.NSEC3PARAM, proofs []*NSEC3Proof, keys []*dnswire.DNSKEY) {
+	t.Helper()
+	params = &dnswire.NSEC3PARAM{
+		HashAlg: dnswire.NSEC3HashSHA1, Iterations: 2, Salt: []byte{0xaa, 0xbb},
+	}
+	key := genKey(t, dnswire.AlgED25519, dnswire.FlagsZSK)
+	keys = []*dnswire.DNSKEY{key.DNSKEY()}
+	// Zone names: apex, alpha, www.
+	zoneNames := []string{"example.org", "alpha.example.org", "www.example.org"}
+	type entry struct {
+		hash []byte
+		name string
+	}
+	var entries []entry
+	for _, n := range zoneNames {
+		h, err := NSEC3Hash(n, params.Salt, params.Iterations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, entry{h, n})
+	}
+	// Sort by hash.
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			if bytes.Compare(entries[j].hash, entries[i].hash) < 0 {
+				entries[i], entries[j] = entries[j], entries[i]
+			}
+		}
+	}
+	var authority []*dnswire.RR
+	for i, e := range entries {
+		next := entries[(i+1)%len(entries)]
+		types := []dnswire.Type{dnswire.TypeA}
+		if e.name == "example.org" {
+			types = []dnswire.Type{dnswire.TypeSOA, dnswire.TypeNS, dnswire.TypeDNSKEY, dnswire.TypeNSEC3PARAM}
+		}
+		owner := dnswire.Base32HexEncode(e.hash) + ".example.org"
+		rr := dnswire.NewRR(owner, 300, &dnswire.NSEC3{
+			HashAlg: params.HashAlg, Iterations: params.Iterations,
+			Salt: params.Salt, NextHashed: next.hash, Types: types,
+		})
+		sig, err := SignRRSet([]*dnswire.RR{rr}, key, "example.org", testWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		authority = append(authority, rr, sig)
+	}
+	return params, ExtractNSEC3Proofs(authority), keys
+}
+
+func TestVerifyNameDenialNSEC3(t *testing.T) {
+	params, proofs, keys := buildNSEC3World(t)
+	if len(proofs) != 3 {
+		t.Fatalf("proofs: %d", len(proofs))
+	}
+	// ghost.example.org does not exist: closest encloser is the apex,
+	// next-closer is ghost itself.
+	if err := VerifyNameDenialNSEC3("ghost.example.org", "example.org", params, proofs, keys, testNow); err != nil {
+		t.Errorf("ghost denial: %v", err)
+	}
+	// deep.ghost.example.org: next-closer is ghost.example.org.
+	if err := VerifyNameDenialNSEC3("deep.ghost.example.org", "example.org", params, proofs, keys, testNow); err != nil {
+		t.Errorf("deep ghost denial: %v", err)
+	}
+	// An existing name must NOT be deniable.
+	if err := VerifyNameDenialNSEC3("alpha.example.org", "example.org", params, proofs, keys, testNow); err == nil {
+		t.Error("denied an existing name")
+	}
+	// Outside the zone.
+	if err := VerifyNameDenialNSEC3("x.other.test", "example.org", params, proofs, keys, testNow); err == nil {
+		t.Error("denial accepted for out-of-zone name")
+	}
+	// Unsupported hash algorithm.
+	bad := *params
+	bad.HashAlg = 9
+	if err := VerifyNameDenialNSEC3("ghost.example.org", "example.org", &bad, proofs, keys, testNow); err == nil {
+		t.Error("unknown hash algorithm accepted")
+	}
+}
+
+func TestVerifyNameDenialNSEC3RejectsUnsigned(t *testing.T) {
+	params, proofs, keys := buildNSEC3World(t)
+	for _, p := range proofs {
+		p.Sigs = nil
+	}
+	if err := VerifyNameDenialNSEC3("ghost.example.org", "example.org", params, proofs, keys, testNow); err == nil {
+		t.Error("unsigned NSEC3 denial accepted")
+	}
+}
+
+func TestVerifyTypeDenialNSEC3(t *testing.T) {
+	params, proofs, keys := buildNSEC3World(t)
+	// alpha has only A; MX is NODATA.
+	if err := VerifyTypeDenialNSEC3("alpha.example.org", dnswire.TypeMX, params, proofs, keys, testNow); err != nil {
+		t.Errorf("MX type denial: %v", err)
+	}
+	if err := VerifyTypeDenialNSEC3("alpha.example.org", dnswire.TypeA, params, proofs, keys, testNow); err == nil {
+		t.Error("denied an existing type")
+	}
+	if err := VerifyTypeDenialNSEC3("ghost.example.org", dnswire.TypeA, params, proofs, keys, testNow); err == nil {
+		t.Error("type denial for nonexistent name accepted")
+	}
+}

@@ -1,0 +1,336 @@
+// Package dnsserver implements an authoritative DNS server for the zones of
+// package zone, DNSSEC-aware per RFC 4035 section 3: it includes RRSIGs
+// when the DO bit is set, serves referrals with DS records at delegation
+// cuts, sets the AA bit, and truncates UDP responses that exceed the
+// client's advertised payload size.
+//
+// Two transports are provided: real UDP/TCP listeners (Server) for
+// wire-level integration, and an in-memory network (MemNet) that lets the
+// simulation host tens of thousands of "servers" without sockets.
+package dnsserver
+
+import (
+	"sync"
+
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// Handler answers DNS queries. Implementations must be safe for concurrent
+// use.
+type Handler interface {
+	ServeDNS(q *dnswire.Message) *dnswire.Message
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(q *dnswire.Message) *dnswire.Message
+
+// ServeDNS implements Handler.
+func (f HandlerFunc) ServeDNS(q *dnswire.Message) *dnswire.Message { return f(q) }
+
+// Authoritative serves one or more zones.
+type Authoritative struct {
+	mu    sync.RWMutex
+	zones map[string]*zone.Zone
+	// axfr gates zone transfers (nil denies all; see EnableAXFR).
+	axfr AXFRAllowed
+}
+
+// NewAuthoritative creates an empty authoritative server.
+func NewAuthoritative() *Authoritative {
+	return &Authoritative{zones: make(map[string]*zone.Zone)}
+}
+
+// AddZone installs (or replaces) a zone.
+func (a *Authoritative) AddZone(z *zone.Zone) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.zones[z.Origin] = z
+}
+
+// RemoveZone drops the zone rooted at origin.
+func (a *Authoritative) RemoveZone(origin string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.zones, dnswire.CanonicalName(origin))
+}
+
+// Zone returns the hosted zone with the given origin, or nil.
+func (a *Authoritative) Zone(origin string) *zone.Zone {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.zones[dnswire.CanonicalName(origin)]
+}
+
+// ZoneCount returns the number of hosted zones.
+func (a *Authoritative) ZoneCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.zones)
+}
+
+// findZone returns the most specific zone containing qname.
+func (a *Authoritative) findZone(qname string) *zone.Zone {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	cur := qname
+	for {
+		if z, ok := a.zones[cur]; ok {
+			return z
+		}
+		p, ok := dnswire.Parent(cur)
+		if !ok {
+			return nil
+		}
+		cur = p
+	}
+}
+
+// ServeDNS implements Handler.
+func (a *Authoritative) ServeDNS(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	if len(q.Questions) != 1 || q.OpCode != dnswire.OpCodeQuery {
+		resp.RCode = dnswire.RCodeNotImplemented
+		return resp
+	}
+	question := q.Questions[0]
+	qname := dnswire.CanonicalName(question.Name)
+	z := a.findZone(qname)
+	if z == nil {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	dnssecOK := q.DNSSECOK()
+	resp.Authoritative = true
+
+	// Delegation handling: anything at or below a cut is referred, except a
+	// DS query for the cut itself, which the parent answers authoritatively
+	// (RFC 4035 section 3.1.4.1).
+	if cut, nsSet := z.DelegationFor(qname); cut != "" {
+		if qname == cut && question.Type == dnswire.TypeDS {
+			if !a.answerRRSet(resp, z, qname, dnswire.TypeDS, dnssecOK) {
+				a.attachSOA(resp, z, dnssecOK)
+			}
+			return resp
+		}
+		resp.Authoritative = false
+		resp.Authority = append(resp.Authority, nsSet...)
+		if dnssecOK {
+			// DS (or proof of its absence) travels with the referral.
+			for _, ds := range z.Lookup(cut, dnswire.TypeDS) {
+				resp.Authority = append(resp.Authority, ds)
+			}
+			appendSigs(resp, z, cut, dnswire.TypeDS, &resp.Authority)
+			if len(z.Lookup(cut, dnswire.TypeDS)) == 0 {
+				// Prove the delegation is insecure: NSEC at the cut, or
+				// the NSEC3 matching its hash.
+				if params := nsec3Params(z); params != nil {
+					attachNSEC3ForName(resp, z, params, cut)
+				} else {
+					for _, nsec := range z.Lookup(cut, dnswire.TypeNSEC) {
+						resp.Authority = append(resp.Authority, nsec)
+					}
+					appendSigs(resp, z, cut, dnswire.TypeNSEC, &resp.Authority)
+				}
+			}
+		}
+		// Glue for in-bailiwick nameservers.
+		for _, ns := range nsSet {
+			host := ns.Data.(*dnswire.NS).Host
+			if dnswire.IsSubdomain(host, cut) {
+				resp.Additional = append(resp.Additional, z.Lookup(host, dnswire.TypeA)...)
+				resp.Additional = append(resp.Additional, z.Lookup(host, dnswire.TypeAAAA)...)
+			}
+		}
+		return resp
+	}
+
+	if !z.HasName(qname) {
+		resp.RCode = dnswire.RCodeNameError
+		a.attachSOA(resp, z, dnssecOK)
+		if dnssecOK {
+			if params := nsec3Params(z); params != nil {
+				attachNSEC3Denial(resp, z, params, qname)
+			} else {
+				attachCoveringNSEC(resp, z, qname)
+			}
+		}
+		return resp
+	}
+
+	// CNAME indirection (unless CNAME itself was asked for).
+	if question.Type != dnswire.TypeCNAME && question.Type != dnswire.TypeANY {
+		if cn := z.Lookup(qname, dnswire.TypeCNAME); len(cn) > 0 {
+			resp.Answers = append(resp.Answers, cn...)
+			appendSigs(resp, z, qname, dnswire.TypeCNAME, &resp.Answers)
+			target := cn[0].Data.(*dnswire.CNAME).Target
+			if dnswire.IsSubdomain(target, z.Origin) && z.HasName(target) {
+				for _, rr := range z.Lookup(target, question.Type) {
+					resp.Answers = append(resp.Answers, rr)
+				}
+				appendSigs(resp, z, target, question.Type, &resp.Answers)
+			}
+			return resp
+		}
+	}
+
+	if question.Type == dnswire.TypeANY {
+		for t, rrs := range z.LookupAll(qname) {
+			if t == dnswire.TypeRRSIG && !dnssecOK {
+				continue
+			}
+			resp.Answers = append(resp.Answers, rrs...)
+		}
+		if len(resp.Answers) == 0 {
+			a.attachSOA(resp, z, dnssecOK)
+		}
+		return resp
+	}
+
+	if !a.answerRRSet(resp, z, qname, question.Type, dnssecOK) {
+		// NODATA: name exists but not this type.
+		a.attachSOA(resp, z, dnssecOK)
+		if dnssecOK {
+			if params := nsec3Params(z); params != nil {
+				attachNSEC3ForName(resp, z, params, qname)
+			} else {
+				for _, nsec := range z.Lookup(qname, dnswire.TypeNSEC) {
+					resp.Authority = append(resp.Authority, nsec)
+				}
+				appendSigs(resp, z, qname, dnswire.TypeNSEC, &resp.Authority)
+			}
+		}
+	}
+	return resp
+}
+
+// answerRRSet copies the RRset (and signatures when dnssecOK) into the
+// answer section; it reports whether any records were found.
+func (a *Authoritative) answerRRSet(resp *dnswire.Message, z *zone.Zone, name string, t dnswire.Type, dnssecOK bool) bool {
+	rrs := z.Lookup(name, t)
+	if len(rrs) == 0 {
+		return false
+	}
+	resp.Answers = append(resp.Answers, rrs...)
+	if dnssecOK {
+		appendSigs(resp, z, name, t, &resp.Answers)
+	}
+	return true
+}
+
+// attachSOA places the zone SOA in the authority section for negative
+// responses, with its signature under DO.
+func (a *Authoritative) attachSOA(resp *dnswire.Message, z *zone.Zone, dnssecOK bool) {
+	if soa := z.SOA(); soa != nil {
+		resp.Authority = append(resp.Authority, soa)
+		if dnssecOK {
+			appendSigs(resp, z, z.Origin, dnswire.TypeSOA, &resp.Authority)
+		}
+	}
+}
+
+// nsec3Params returns the zone's NSEC3PARAM, or nil for NSEC/unsigned
+// zones.
+func nsec3Params(z *zone.Zone) *dnswire.NSEC3PARAM {
+	for _, rr := range z.Lookup(z.Origin, dnswire.TypeNSEC3PARAM) {
+		return rr.Data.(*dnswire.NSEC3PARAM)
+	}
+	return nil
+}
+
+// attachNSEC3ForName appends the NSEC3 RRset (with signatures) whose owner
+// name is the hash of name, and reports whether one was found.
+func attachNSEC3ForName(resp *dnswire.Message, z *zone.Zone, params *dnswire.NSEC3PARAM, name string) bool {
+	owner, err := dnssec.NSEC3OwnerName(name, z.Origin, params.Salt, params.Iterations)
+	if err != nil {
+		return false
+	}
+	rrs := z.Lookup(owner, dnswire.TypeNSEC3)
+	if len(rrs) == 0 {
+		return false
+	}
+	resp.Authority = append(resp.Authority, rrs...)
+	appendSigs(resp, z, owner, dnswire.TypeNSEC3, &resp.Authority)
+	return true
+}
+
+// attachCoveringNSEC3 appends the NSEC3 whose hash span covers name's hash.
+func attachCoveringNSEC3(resp *dnswire.Message, z *zone.Zone, params *dnswire.NSEC3PARAM, name string) {
+	h, err := dnssec.NSEC3Hash(name, params.Salt, params.Iterations)
+	if err != nil {
+		return
+	}
+	for _, owner := range z.Names() {
+		for _, rr := range z.Lookup(owner, dnswire.TypeNSEC3) {
+			proof := &dnssec.NSEC3Proof{Owner: owner, NSEC3: rr.Data.(*dnswire.NSEC3)}
+			if proof.Covers(h) {
+				resp.Authority = append(resp.Authority, rr)
+				appendSigs(resp, z, owner, dnswire.TypeNSEC3, &resp.Authority)
+				return
+			}
+		}
+	}
+}
+
+// attachNSEC3Denial builds the RFC 5155 NXDOMAIN proof: the NSEC3 matching
+// the closest encloser plus the NSEC3 covering the next-closer name.
+func attachNSEC3Denial(resp *dnswire.Message, z *zone.Zone, params *dnswire.NSEC3PARAM, qname string) {
+	ce := qname
+	nextCloser := ""
+	for {
+		if z.HasName(ce) || ce == z.Origin {
+			break
+		}
+		nextCloser = ce
+		parent, ok := dnswire.Parent(ce)
+		if !ok || !dnswire.IsSubdomain(parent, z.Origin) {
+			return
+		}
+		ce = parent
+	}
+	attachNSEC3ForName(resp, z, params, ce)
+	if nextCloser != "" {
+		attachCoveringNSEC3(resp, z, params, nextCloser)
+	}
+}
+
+// attachCoveringNSEC adds the NSEC record proving qname's nonexistence
+// (RFC 4035 section 3.1.3.2): the NSEC whose owner/next span covers qname
+// in canonical order, plus its signature. Zones signed without an NSEC
+// chain simply contribute nothing.
+func attachCoveringNSEC(resp *dnswire.Message, z *zone.Zone, qname string) {
+	for _, name := range z.Names() {
+		for _, rr := range z.Lookup(name, dnswire.TypeNSEC) {
+			nsec := rr.Data.(*dnswire.NSEC)
+			if nsecCovers(name, nsec.NextName, qname) {
+				resp.Authority = append(resp.Authority, rr)
+				appendSigs(resp, z, name, dnswire.TypeNSEC, &resp.Authority)
+				return
+			}
+		}
+	}
+}
+
+// nsecCovers reports whether qname falls in the (owner, next) canonical
+// interval of an NSEC record, handling the wrap-around at the end of the
+// chain.
+func nsecCovers(owner, next, qname string) bool {
+	cmpOwner := dnswire.CompareCanonical(owner, qname)
+	cmpNext := dnswire.CompareCanonical(qname, next)
+	if dnswire.CompareCanonical(owner, next) < 0 {
+		return cmpOwner < 0 && cmpNext < 0
+	}
+	// Last NSEC wraps to the apex: it covers everything after the owner.
+	return cmpOwner < 0 || cmpNext < 0
+}
+
+// appendSigs adds the RRSIGs covering (name, covered) to the given section.
+func appendSigs(resp *dnswire.Message, z *zone.Zone, name string, covered dnswire.Type, section *[]*dnswire.RR) {
+	_ = resp
+	for _, rr := range z.Lookup(name, dnswire.TypeRRSIG) {
+		if rr.Data.(*dnswire.RRSIG).TypeCovered == covered {
+			*section = append(*section, rr)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package dnsserver_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// startTLDServer exposes the hierarchy's .com server over real sockets with
+// AXFR enabled per policy.
+func startTLDServer(t *testing.T, h *dnstest.Hierarchy, allow dnsserver.AXFRAllowed) *dnsserver.Server {
+	t.Helper()
+	auth := h.TLDServer("com")
+	auth.EnableAXFR(allow)
+	srv := &dnsserver.Server{Handler: auth}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestAXFRTransfersWholeZone(t *testing.T) {
+	h := newHierarchy(t)
+	for _, d := range []struct {
+		name string
+		mode dnstest.DomainMode
+	}{
+		{"alpha.com", dnstest.Full},
+		{"beta.com", dnstest.Partial},
+		{"gamma.com", dnstest.Unsigned},
+	} {
+		if _, _, err := h.AddDomain(d.name, "ns1.op.net", d.mode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := startTLDServer(t, h, func(string) bool { return true })
+
+	client := &dnsserver.AXFRClient{Timeout: 5 * time.Second}
+	z, err := client.Transfer(context.Background(), srv.Addr(), "com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transferred zone matches the served one record for record.
+	want := h.TLDZone("com")
+	if z.Len() != want.Len() {
+		t.Errorf("transferred %d records, zone has %d", z.Len(), want.Len())
+	}
+	if len(z.Lookup("alpha.com", dnswire.TypeNS)) == 0 {
+		t.Error("delegation missing after transfer")
+	}
+	if len(z.Lookup("alpha.com", dnswire.TypeDS)) == 0 {
+		t.Error("DS missing after transfer")
+	}
+	if z.SOA() == nil {
+		t.Error("SOA missing after transfer")
+	}
+}
+
+func TestAXFRDeniedByPolicy(t *testing.T) {
+	h := newHierarchy(t)
+	srv := startTLDServer(t, h, func(string) bool { return false })
+	client := &dnsserver.AXFRClient{Timeout: 2 * time.Second}
+	if _, err := client.Transfer(context.Background(), srv.Addr(), "com"); err == nil {
+		t.Fatal("denied transfer succeeded")
+	}
+	// Unknown zones are refused too.
+	srv2 := startTLDServer(t, h, func(string) bool { return true })
+	if _, err := client.Transfer(context.Background(), srv2.Addr(), "example.net"); err == nil {
+		t.Fatal("transfer of unknown zone succeeded")
+	}
+}
+
+func TestAXFRLargeZoneChunks(t *testing.T) {
+	h := newHierarchy(t)
+	// Enough delegations that the transfer needs multiple messages.
+	for i := 0; i < 400; i++ {
+		name := "bulk" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676)) + ".com"
+		if _, _, err := h.AddDomain(name, "ns1.op.net", dnstest.Unsigned); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := startTLDServer(t, h, func(string) bool { return true })
+	client := &dnsserver.AXFRClient{Timeout: 10 * time.Second}
+	z, err := client.Transfer(context.Background(), srv.Addr(), "com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != h.TLDZone("com").Len() {
+		t.Errorf("transferred %d records, zone has %d", z.Len(), h.TLDZone("com").Len())
+	}
+	// Normal queries still work on the same connection handling path.
+	ex := &dnsserver.NetExchanger{Timeout: 2 * time.Second}
+	resp, err := ex.Exchange(context.Background(), srv.Addr(), dnswire.NewQuery(5, "bulkaaa.com", dnswire.TypeNS))
+	if err != nil || resp.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("post-AXFR query: %v %v", err, resp)
+	}
+}

@@ -1,0 +1,68 @@
+package dnsserver_test
+
+import (
+	"sync"
+	"testing"
+
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// TestConcurrentQueriesDuringResigning hammers an authoritative server with
+// queries while the zone is being re-signed — the scanner-vs-registrar
+// interleaving the simulation produces constantly. Run under -race this
+// guards the Zone and Authoritative locking.
+func TestConcurrentQueriesDuringResigning(t *testing.T) {
+	h := newHierarchy(t)
+	child, signer, err := h.AddDomain("busy.com", "ns1.busy-op.net", dnstest.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := h.OperatorServer("ns1.busy-op.net")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := dnswire.NewQuery(uint16(id*1000+i), "www.busy.com", dnswire.TypeA)
+				q.SetEDNS(4096, true)
+				resp := srv.ServeDNS(q)
+				if resp == nil || resp.RCode != dnswire.RCodeSuccess {
+					t.Errorf("worker %d: bad response %v", id, resp)
+					return
+				}
+				i++
+			}
+		}(w)
+	}
+	// Re-sign the zone repeatedly while queries fly.
+	for i := 0; i < 25; i++ {
+		if err := signer.Sign(child); err != nil {
+			t.Errorf("re-sign %d: %v", i, err)
+			break
+		}
+	}
+	// And rotate keys entirely.
+	newSigner, err := zone.NewSigner(dnswire.AlgED25519, h.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := newSigner.Sign(child); err != nil {
+			t.Errorf("rotate %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

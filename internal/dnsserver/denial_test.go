@@ -1,0 +1,139 @@
+package dnsserver_test
+
+import (
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// buildNSECDomain creates a signed domain with an NSEC chain on the
+// hierarchy.
+func buildNSECDomain(t *testing.T, h *dnstest.Hierarchy) (*zone.Zone, *zone.Signer) {
+	t.Helper()
+	child, _, err := h.AddDomain("denial.com", "ns1.denial-op.net", dnstest.Unsigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := zone.NewSigner(dnswire.AlgED25519, h.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer.AddNSEC = true
+	if err := signer.Sign(child); err != nil {
+		t.Fatal(err)
+	}
+	return child, signer
+}
+
+func TestNXDomainCarriesCoveringNSEC(t *testing.T) {
+	h := newHierarchy(t)
+	child, signer := buildNSECDomain(t, h)
+	_ = child
+	srv := h.OperatorServer("ns1.denial-op.net")
+
+	resp := query(t, srv, "ghost.denial.com", dnswire.TypeA, true)
+	if resp.RCode != dnswire.RCodeNameError {
+		t.Fatalf("rcode = %v", resp.RCode)
+	}
+	proofs := dnssec.ExtractDenialProofs(resp.Authority)
+	if len(proofs) == 0 {
+		t.Fatal("no NSEC proof in NXDOMAIN response")
+	}
+	keys := []*dnswire.DNSKEY{signer.ZSK.DNSKEY(), signer.KSK.DNSKEY()}
+	now := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	if err := dnssec.VerifyNameDenial("ghost.denial.com", proofs, keys, now); err != nil {
+		t.Errorf("denial does not verify: %v", err)
+	}
+	// Without DO, no NSEC is included.
+	resp = query(t, srv, "ghost.denial.com", dnswire.TypeA, false)
+	if len(dnssec.ExtractDenialProofs(resp.Authority)) != 0 {
+		t.Error("NSEC leaked without DO bit")
+	}
+}
+
+func TestNodataCarriesNSECAtOwner(t *testing.T) {
+	h := newHierarchy(t)
+	_, signer := buildNSECDomain(t, h)
+	srv := h.OperatorServer("ns1.denial-op.net")
+
+	// www.denial.com exists with A only; MX is NODATA.
+	resp := query(t, srv, "www.denial.com", dnswire.TypeMX, true)
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 0 {
+		t.Fatalf("NODATA expected: rcode=%v answers=%d", resp.RCode, len(resp.Answers))
+	}
+	proofs := dnssec.ExtractDenialProofs(resp.Authority)
+	keys := []*dnswire.DNSKEY{signer.ZSK.DNSKEY(), signer.KSK.DNSKEY()}
+	now := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	if err := dnssec.VerifyTypeDenial("www.denial.com", dnswire.TypeMX, proofs, keys, now); err != nil {
+		t.Errorf("type denial does not verify: %v", err)
+	}
+}
+
+func TestNSEC3DenialEndToEnd(t *testing.T) {
+	h := newHierarchy(t)
+	child, _, err := h.AddDomain("hashed.com", "ns1.hashed-op.net", dnstest.Unsigned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := zone.NewSigner(dnswire.AlgED25519, h.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer.NSEC3 = &dnswire.NSEC3PARAM{
+		HashAlg: dnswire.NSEC3HashSHA1, Iterations: 5, Salt: []byte{0xca, 0xfe},
+	}
+	if err := signer.Sign(child); err != nil {
+		t.Fatal(err)
+	}
+	srv := h.OperatorServer("ns1.hashed-op.net")
+	keys := []*dnswire.DNSKEY{signer.ZSK.DNSKEY(), signer.KSK.DNSKEY()}
+	now := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	// The apex advertises the NSEC3 parameters.
+	resp := query(t, srv, "hashed.com", dnswire.TypeNSEC3PARAM, true)
+	if len(resp.Answers) == 0 {
+		t.Fatal("NSEC3PARAM not served")
+	}
+	params := resp.Answers[0].Data.(*dnswire.NSEC3PARAM)
+
+	// NXDOMAIN carries a verifiable hashed denial.
+	resp = query(t, srv, "nothere.hashed.com", dnswire.TypeA, true)
+	if resp.RCode != dnswire.RCodeNameError {
+		t.Fatalf("rcode = %v", resp.RCode)
+	}
+	proofs := dnssec.ExtractNSEC3Proofs(resp.Authority)
+	if len(proofs) == 0 {
+		t.Fatal("no NSEC3 records in NXDOMAIN response")
+	}
+	if err := dnssec.VerifyNameDenialNSEC3("nothere.hashed.com", "hashed.com", params, proofs, keys, now); err != nil {
+		t.Errorf("NSEC3 denial does not verify: %v", err)
+	}
+	// A deeper nonexistent name verifies through the closest-encloser walk.
+	resp = query(t, srv, "a.b.hashed.com", dnswire.TypeA, true)
+	proofs = dnssec.ExtractNSEC3Proofs(resp.Authority)
+	if err := dnssec.VerifyNameDenialNSEC3("a.b.hashed.com", "hashed.com", params, proofs, keys, now); err != nil {
+		t.Errorf("deep NSEC3 denial does not verify: %v", err)
+	}
+
+	// NODATA: www exists with A only; TXT query yields a matching NSEC3.
+	resp = query(t, srv, "www.hashed.com", dnswire.TypeTXT, true)
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 0 {
+		t.Fatalf("NODATA expected: %v / %d answers", resp.RCode, len(resp.Answers))
+	}
+	proofs = dnssec.ExtractNSEC3Proofs(resp.Authority)
+	if err := dnssec.VerifyTypeDenialNSEC3("www.hashed.com", dnswire.TypeTXT, params, proofs, keys, now); err != nil {
+		t.Errorf("NSEC3 type denial does not verify: %v", err)
+	}
+	// But a forged denial of the existing A RRset must fail.
+	if err := dnssec.VerifyTypeDenialNSEC3("www.hashed.com", dnswire.TypeA, params, proofs, keys, now); err == nil {
+		t.Error("denied an existing type via NSEC3")
+	}
+	// The zone enumerates only hashes: no plain NSEC records anywhere.
+	if nsec := child.Lookup("hashed.com", dnswire.TypeNSEC); len(nsec) != 0 {
+		t.Error("NSEC records present in an NSEC3 zone")
+	}
+}

@@ -1,0 +1,306 @@
+package dnsserver
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// Server runs a Handler over real UDP and TCP sockets on the same address,
+// as a production nameserver would. UDP responses larger than the client's
+// advertised payload are truncated with TC=1 so the client retries over TCP
+// (RFC 1035 section 4.2).
+type Server struct {
+	Handler Handler
+	// Logger receives malformed-packet and I/O diagnostics; slog.Default()
+	// when nil.
+	Logger *slog.Logger
+	// ReadTimeout bounds TCP connection reads (default 5s).
+	ReadTimeout time.Duration
+
+	mu     sync.Mutex
+	pc     net.PacketConn
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// ListenAndServe binds UDP and TCP on addr ("127.0.0.1:0" for an ephemeral
+// port) and serves until Close. It returns once both listeners are active;
+// Addr then reports the bound address.
+func (s *Server) ListenAndServe(addr string) error {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: udp listen: %w", err)
+	}
+	// Bind TCP on the identical port so clients can retry after truncation.
+	tcpAddr := pc.LocalAddr().String()
+	ln, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		pc.Close()
+		return fmt.Errorf("dnsserver: tcp listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		pc.Close()
+		ln.Close()
+		return errors.New("dnsserver: server closed")
+	}
+	s.pc, s.ln = pc, ln
+	s.mu.Unlock()
+	s.wg.Add(2)
+	go s.serveUDP(pc)
+	go s.serveTCP(ln)
+	return nil
+}
+
+// Addr returns the bound UDP address, or "" before ListenAndServe.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pc == nil {
+		return ""
+	}
+	return s.pc.LocalAddr().String()
+}
+
+// Close stops the listeners and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	pc, ln := s.pc, s.ln
+	s.mu.Unlock()
+	if pc != nil {
+		pc.Close()
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+func (s *Server) serveUDP(pc net.PacketConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func(pkt []byte, from net.Addr) {
+			defer s.wg.Done()
+			var q dnswire.Message
+			if err := q.Unpack(pkt); err != nil {
+				s.logger().Debug("dropping malformed query", "from", from, "err", err)
+				return
+			}
+			resp := s.Handler.ServeDNS(&q)
+			if resp == nil {
+				return
+			}
+			out, err := resp.Pack()
+			if err != nil {
+				s.logger().Error("packing response", "err", err)
+				return
+			}
+			if len(out) > q.MaxPayload() {
+				// Truncate: header + question only, TC set.
+				tr := q.Reply()
+				tr.RCode = resp.RCode
+				tr.Truncated = true
+				tr.Authoritative = resp.Authoritative
+				if out, err = tr.Pack(); err != nil {
+					return
+				}
+			}
+			if _, err := pc.WriteTo(out, from); err != nil {
+				s.logger().Debug("udp write", "err", err)
+			}
+		}(pkt, from)
+	}
+}
+
+func (s *Server) serveTCP(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			defer conn.Close()
+			timeout := s.ReadTimeout
+			if timeout == 0 {
+				timeout = 5 * time.Second
+			}
+			for {
+				conn.SetReadDeadline(time.Now().Add(timeout))
+				msg, err := readTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				var q dnswire.Message
+				if err := q.Unpack(msg); err != nil {
+					return
+				}
+				if s.serveAXFR(conn, &q) {
+					continue
+				}
+				resp := s.Handler.ServeDNS(&q)
+				if resp == nil {
+					return
+				}
+				out, err := resp.Pack()
+				if err != nil {
+					return
+				}
+				if err := writeTCPMessage(conn, out); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// readTCPMessage reads one length-prefixed DNS message (RFC 1035 4.2.2).
+func readTCPMessage(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// writeTCPMessage writes one length-prefixed DNS message.
+func writeTCPMessage(w io.Writer, msg []byte) error {
+	if len(msg) > 0xffff {
+		return errors.New("dnsserver: message too large for TCP framing")
+	}
+	buf := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(buf, uint16(len(msg)))
+	copy(buf[2:], msg)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Exchanger issues one DNS query to a named server and returns the
+// response. It is the seam between the resolver and the transport: the
+// production implementation speaks UDP/TCP, the simulation implementation
+// dispatches in memory.
+type Exchanger interface {
+	Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error)
+}
+
+// NetExchanger sends queries over UDP with TCP fallback on truncation.
+type NetExchanger struct {
+	// Timeout per attempt (default 3s).
+	Timeout time.Duration
+	// DisableTCPFallback suppresses the TCP retry after TC=1.
+	DisableTCPFallback bool
+}
+
+// Exchange implements Exchanger. server must be a host:port address.
+func (e *NetExchanger) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	timeout := e.Timeout
+	if timeout == 0 {
+		timeout = 3 * time.Second
+	}
+	out, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "udp", server)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	conn.SetDeadline(deadline)
+	resp, err := func() (*dnswire.Message, error) {
+		defer conn.Close()
+		if _, err := conn.Write(out); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 65535)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return nil, err
+			}
+			var m dnswire.Message
+			if err := m.Unpack(buf[:n]); err != nil {
+				continue // hostile or corrupt datagram; keep waiting
+			}
+			if m.ID != q.ID {
+				continue // not ours
+			}
+			return &m, nil
+		}
+	}()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Truncated && !e.DisableTCPFallback {
+		return e.exchangeTCP(ctx, server, out, q.ID, timeout)
+	}
+	return resp, nil
+}
+
+func (e *NetExchanger) exchangeTCP(ctx context.Context, server string, out []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	conn.SetDeadline(deadline)
+	if err := writeTCPMessage(conn, out); err != nil {
+		return nil, err
+	}
+	msg, err := readTCPMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	var m dnswire.Message
+	if err := m.Unpack(msg); err != nil {
+		return nil, err
+	}
+	if m.ID != id {
+		return nil, errors.New("dnsserver: TCP response ID mismatch")
+	}
+	return &m, nil
+}

@@ -1,0 +1,71 @@
+package dnswire
+
+// EDNS0 support (RFC 6891). The OPT pseudo-record overloads the RR header:
+// CLASS carries the requestor's UDP payload size and the TTL carries the
+// extended RCODE and flags, including the DO ("DNSSEC OK") bit that a
+// resolver sets to request RRSIGs in responses (RFC 3225).
+
+// EDNS captures the decoded fields of an OPT pseudo-record.
+type EDNS struct {
+	UDPSize  uint16
+	DNSSECOK bool
+	Version  uint8
+}
+
+// doBit is the DO flag position within the OPT TTL field.
+const doBit = 1 << 15
+
+// SetEDNS adds (or replaces) an OPT pseudo-record in the additional section
+// advertising the given UDP payload size and DO bit.
+func (m *Message) SetEDNS(udpSize uint16, dnssecOK bool) {
+	if udpSize < MaxUDPPayload {
+		udpSize = MaxUDPPayload
+	}
+	var ttl uint32
+	if dnssecOK {
+		ttl |= doBit
+	}
+	opt := &RR{
+		Name:  "",
+		Type:  TypeOPT,
+		Class: Class(udpSize),
+		TTL:   ttl,
+		Data:  &Generic{T: TypeOPT},
+	}
+	for i, rr := range m.Additional {
+		if rr.Type == TypeOPT {
+			m.Additional[i] = opt
+			return
+		}
+	}
+	m.Additional = append(m.Additional, opt)
+}
+
+// EDNS returns the decoded OPT record if the message carries one, else nil.
+func (m *Message) EDNS() *EDNS {
+	for _, rr := range m.Additional {
+		if rr.Type == TypeOPT {
+			return &EDNS{
+				UDPSize:  uint16(rr.Class),
+				DNSSECOK: rr.TTL&doBit != 0,
+				Version:  uint8(rr.TTL >> 16),
+			}
+		}
+	}
+	return nil
+}
+
+// DNSSECOK reports whether the message requests DNSSEC records (DO bit set).
+func (m *Message) DNSSECOK() bool {
+	e := m.EDNS()
+	return e != nil && e.DNSSECOK
+}
+
+// MaxPayload returns the response size the sender can accept: the EDNS0
+// advertised size, or the classic 512-octet limit without EDNS0.
+func (m *Message) MaxPayload() int {
+	if e := m.EDNS(); e != nil {
+		return int(e.UDPSize)
+	}
+	return MaxUDPPayload
+}

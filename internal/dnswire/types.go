@@ -1,0 +1,232 @@
+// Package dnswire implements the DNS wire format (RFC 1035) together with
+// the resource records required for DNSSEC (RFC 4034) and automated
+// delegation trust maintenance (RFC 7344): DNSKEY, RRSIG, DS, NSEC, CDS and
+// CDNSKEY, plus the EDNS0 OPT pseudo-record (RFC 6891) needed to signal
+// DNSSEC-aware queries.
+//
+// The package is self-contained (standard library only) and is the
+// foundation every other layer of registrarsec builds on: the authoritative
+// server, the validating resolver, the scan engine and the registrar probe
+// all speak this wire format.
+//
+// Domain names are represented as lowercase presentation-format strings
+// without the trailing dot; the root zone is the empty string. This single
+// normalized representation makes DNSSEC canonical-form processing
+// (RFC 4034 section 6) a no-op for case handling.
+package dnswire
+
+import "strconv"
+
+// Type is a DNS resource record type code.
+type Type uint16
+
+// Resource record types used throughout this module.
+const (
+	TypeNone   Type = 0
+	TypeA      Type = 1
+	TypeNS     Type = 2
+	TypeCNAME  Type = 5
+	TypeSOA    Type = 6
+	TypePTR    Type = 12
+	TypeMX     Type = 15
+	TypeTXT    Type = 16
+	TypeAAAA   Type = 28
+	TypeOPT    Type = 41
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeNSEC   Type = 47
+	TypeDNSKEY Type = 48
+	// TypeNSEC3 and TypeNSEC3PARAM are declared in nsec3.go (50, 51).
+	TypeCDS     Type = 59
+	TypeCDNSKEY Type = 60
+	TypeANY     Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeA:          "A",
+	TypeNS:         "NS",
+	TypeCNAME:      "CNAME",
+	TypeSOA:        "SOA",
+	TypePTR:        "PTR",
+	TypeMX:         "MX",
+	TypeTXT:        "TXT",
+	TypeAAAA:       "AAAA",
+	TypeOPT:        "OPT",
+	TypeDS:         "DS",
+	TypeRRSIG:      "RRSIG",
+	TypeNSEC:       "NSEC",
+	TypeDNSKEY:     "DNSKEY",
+	TypeNSEC3:      "NSEC3",
+	TypeNSEC3PARAM: "NSEC3PARAM",
+	TypeCDS:        "CDS",
+	TypeCDNSKEY:    "CDNSKEY",
+	TypeANY:        "ANY",
+}
+
+var typeValues = func() map[string]Type {
+	m := make(map[string]Type, len(typeNames))
+	for t, n := range typeNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// String returns the mnemonic for known types and the RFC 3597 TYPEnnn form
+// otherwise.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return "TYPE" + strconv.Itoa(int(t))
+}
+
+// TypeFromString parses a type mnemonic ("A", "DNSKEY", ...) or an RFC 3597
+// TYPEnnn token. It reports false if the token is not recognized.
+func TypeFromString(s string) (Type, bool) {
+	if t, ok := typeValues[s]; ok {
+		return t, true
+	}
+	if len(s) > 4 && s[:4] == "TYPE" {
+		n, err := strconv.Atoi(s[4:])
+		if err == nil && n >= 0 && n <= 0xffff {
+			return Type(n), true
+		}
+	}
+	return TypeNone, false
+}
+
+// Class is a DNS class code. Only IN is used in practice.
+type Class uint16
+
+const (
+	ClassINET Class = 1
+	ClassANY  Class = 255
+)
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassANY:
+		return "ANY"
+	}
+	return "CLASS" + strconv.Itoa(int(c))
+}
+
+// RCode is a DNS response code.
+type RCode uint8
+
+const (
+	RCodeSuccess        RCode = 0 // NOERROR
+	RCodeFormatError    RCode = 1 // FORMERR
+	RCodeServerFailure  RCode = 2 // SERVFAIL
+	RCodeNameError      RCode = 3 // NXDOMAIN
+	RCodeNotImplemented RCode = 4 // NOTIMP
+	RCodeRefused        RCode = 5 // REFUSED
+)
+
+// String returns the standard rcode mnemonic.
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormatError:
+		return "FORMERR"
+	case RCodeServerFailure:
+		return "SERVFAIL"
+	case RCodeNameError:
+		return "NXDOMAIN"
+	case RCodeNotImplemented:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return "RCODE" + strconv.Itoa(int(r))
+}
+
+// OpCode is a DNS operation code; only QUERY is implemented.
+type OpCode uint8
+
+// OpCodeQuery is the standard query opcode.
+const OpCodeQuery OpCode = 0
+
+// Algorithm is a DNSSEC signing algorithm number (RFC 4034 Appendix A.1 and
+// successors). registrarsec implements the three algorithms that dominate
+// modern deployment.
+type Algorithm uint8
+
+const (
+	// AlgRSASHA256 is RSA/SHA-256 (RFC 5702), algorithm 8 — the most widely
+	// deployed DNSSEC algorithm during the paper's measurement period.
+	AlgRSASHA256 Algorithm = 8
+	// AlgECDSAP256SHA256 is ECDSA Curve P-256 with SHA-256 (RFC 6605),
+	// algorithm 13 — used by Cloudflare's universal DNSSEC rollout.
+	AlgECDSAP256SHA256 Algorithm = 13
+	// AlgED25519 is Ed25519 (RFC 8080), algorithm 15.
+	AlgED25519 Algorithm = 15
+	// AlgDelete (0) in a CDS/CDNSKEY record requests removal of the DS RRset
+	// at the parent (RFC 8078 section 4).
+	AlgDelete Algorithm = 0
+)
+
+// String returns the algorithm mnemonic.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgRSASHA256:
+		return "RSASHA256"
+	case AlgECDSAP256SHA256:
+		return "ECDSAP256SHA256"
+	case AlgED25519:
+		return "ED25519"
+	case AlgDelete:
+		return "DELETE"
+	}
+	return "ALG" + strconv.Itoa(int(a))
+}
+
+// DigestType identifies the hash used in a DS record (RFC 4034 Appendix
+// A.2, RFC 4509, RFC 6605).
+type DigestType uint8
+
+const (
+	DigestSHA1   DigestType = 1
+	DigestSHA256 DigestType = 2
+	DigestSHA384 DigestType = 4
+)
+
+// String returns the digest mnemonic.
+func (d DigestType) String() string {
+	switch d {
+	case DigestSHA1:
+		return "SHA1"
+	case DigestSHA256:
+		return "SHA256"
+	case DigestSHA384:
+		return "SHA384"
+	}
+	return "DIGEST" + strconv.Itoa(int(d))
+}
+
+// DNSKEY flag bits (RFC 4034 section 2.1.1).
+const (
+	// FlagZone marks a zone key; it must be set for the key to be usable for
+	// DNSSEC validation.
+	FlagZone uint16 = 0x0100
+	// FlagSEP is the Secure Entry Point hint, conventionally marking a KSK.
+	FlagSEP uint16 = 0x0001
+
+	// FlagsZSK is the conventional flags field of a zone-signing key.
+	FlagsZSK = FlagZone
+	// FlagsKSK is the conventional flags field of a key-signing key.
+	FlagsKSK = FlagZone | FlagSEP
+)
+
+// MaxUDPPayload is the conventional maximum DNS message size without EDNS0.
+const MaxUDPPayload = 512
+
+// MaxNameWireLen is the maximum wire-format length of a domain name.
+const MaxNameWireLen = 255
+
+// MaxLabelLen is the maximum length of a single label.
+const MaxLabelLen = 63

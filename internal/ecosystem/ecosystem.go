@@ -1,0 +1,173 @@
+// Package ecosystem assembles the live DNS substrate the study runs on: a
+// signed root zone, one registry.Registry per TLD (each serving its signed
+// TLD zone on the in-memory network), a shared simulation clock, and
+// validating-resolver helpers anchored at the root key.
+package ecosystem
+
+import (
+	"sync"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/registry"
+	"securepki.org/registrarsec/internal/resolver"
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// Clock is a mutable simulation clock shared by every agent in an
+// ecosystem.
+type Clock struct {
+	mu  sync.RWMutex
+	day simtime.Day
+}
+
+// NewClock starts a clock at day.
+func NewClock(day simtime.Day) *Clock { return &Clock{day: day} }
+
+// Day returns the current day.
+func (c *Clock) Day() simtime.Day {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.day
+}
+
+// Set moves the clock.
+func (c *Clock) Set(day simtime.Day) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.day = day
+}
+
+// Advance moves the clock forward by n days and returns the new day.
+func (c *Clock) Advance(n simtime.Day) simtime.Day {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.day += n
+	return c.day
+}
+
+// Func adapts the clock to the func() simtime.Day dependency used across
+// the module.
+func (c *Clock) Func() func() simtime.Day { return c.Day }
+
+// TimeFunc adapts the clock to wall-clock time.
+func (c *Clock) TimeFunc() func() time.Time {
+	return func() time.Time { return c.Day().Time() }
+}
+
+// RootAddr is the address of the root nameserver on the in-memory network.
+const RootAddr = "a.root-servers.net"
+
+// TLDServerAddr returns the network address of a TLD's authoritative
+// server ("ns1.<tld>-registry.example").
+func TLDServerAddr(tld string) string { return "ns1." + tld + "-registry.example" }
+
+// Config configures New.
+type Config struct {
+	// Start is the initial simulation day (default simtime.GTLDStart).
+	Start simtime.Day
+	// TLDs lists the registries to create. Default: the paper's five.
+	TLDs []string
+	// Incentives maps TLD → incentive program (the .nl/.se discounts).
+	Incentives map[string]*registry.Incentive
+	// CDSTLDs marks registries that poll CDS/CDNSKEY (".cz"-style).
+	CDSTLDs map[string]bool
+}
+
+// Ecosystem is a live root + registries world on an in-memory network.
+// It is the substrate on which registrar agents and the full paper
+// simulation run.
+type Ecosystem struct {
+	Net        *dnsserver.MemNet
+	Clock      *Clock
+	Registries map[string]*registry.Registry
+	Anchor     []*dnswire.DS
+
+	RootZone   *zone.Zone
+	RootSigner *zone.Signer
+}
+
+// New builds the world.
+func New(cfg Config) (*Ecosystem, error) {
+	if cfg.Start == 0 {
+		cfg.Start = simtime.GTLDStart
+	}
+	if len(cfg.TLDs) == 0 {
+		cfg.TLDs = []string{"com", "net", "org", "nl", "se"}
+	}
+	e := &Ecosystem{
+		Net:        dnsserver.NewMemNet(),
+		Clock:      NewClock(cfg.Start),
+		Registries: make(map[string]*registry.Registry),
+	}
+	e.Net.Strict = true
+
+	e.RootZone = zone.New("")
+	e.RootZone.MustAdd(dnswire.NewRR("", 86400, &dnswire.SOA{
+		MName: RootAddr, RName: "nstld.verisign-grs.com",
+		Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+	}))
+	e.RootZone.MustAdd(dnswire.NewRR("", 86400, &dnswire.NS{Host: RootAddr}))
+	rootSigner, err := zone.NewSigner(dnswire.AlgED25519, cfg.Start.Time())
+	if err != nil {
+		return nil, err
+	}
+	rootSigner.Expiration = simtime.End.Time().AddDate(1, 0, 0)
+	e.RootSigner = rootSigner
+
+	for _, tld := range cfg.TLDs {
+		reg, err := registry.New(registry.Config{
+			TLD:         tld,
+			NSHost:      TLDServerAddr(tld),
+			AcceptsDS:   true,
+			SupportsCDS: cfg.CDSTLDs[tld],
+			Incentive:   cfg.Incentives[tld],
+			Clock:       e.Clock.Day,
+		}, e.Net)
+		if err != nil {
+			return nil, err
+		}
+		e.Registries[tld] = reg
+		e.RootZone.MustAdd(dnswire.NewRR(tld, 86400, &dnswire.NS{Host: TLDServerAddr(tld)}))
+		dss, err := reg.DSRecords()
+		if err != nil {
+			return nil, err
+		}
+		for _, ds := range dss {
+			e.RootZone.MustAdd(dnswire.NewRR(tld, 86400, ds))
+		}
+	}
+	if err := rootSigner.Sign(e.RootZone); err != nil {
+		return nil, err
+	}
+	rootSrv := dnsserver.NewAuthoritative()
+	rootSrv.AddZone(e.RootZone)
+	e.Net.Register(RootAddr, rootSrv)
+
+	anchor, err := rootSigner.DSRecords("", dnswire.DigestSHA256)
+	if err != nil {
+		return nil, err
+	}
+	e.Anchor = anchor
+	return e, nil
+}
+
+// Resolver builds an iterative resolver over the ecosystem's network.
+func (e *Ecosystem) Resolver(dnssecOK bool) *resolver.Resolver {
+	return resolver.New(resolver.Config{
+		Roots:    []string{RootAddr},
+		Exchange: e.Net,
+		DNSSEC:   dnssecOK,
+	})
+}
+
+// Validating builds a validating resolver anchored at the ecosystem root.
+func (e *Ecosystem) Validating() *resolver.Validating {
+	return &resolver.Validating{
+		R:      e.Resolver(true),
+		Anchor: e.Anchor,
+		Now:    e.Clock.TimeFunc(),
+	}
+}

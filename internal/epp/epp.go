@@ -1,0 +1,218 @@
+// Package epp implements a compact subset of the Extensible Provisioning
+// Protocol — the real protocol registrars use to talk to registries
+// (RFC 5730 base, RFC 5731 domain mapping, RFC 5734 TCP transport framing,
+// RFC 5910 secDNS extension). This is the wire on which the paper's crucial
+// operation rides: a registrar uploading a customer's DS record to the
+// registry.
+//
+// The implementation covers login/logout, domain create/info/update/delete
+// and renew, with the secDNS extension carrying DS data on create and
+// update. The server side fronts a registry.Registry; every state change it
+// makes is therefore immediately visible in the signed TLD zone and to the
+// scan engine.
+package epp
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// Result codes (RFC 5730 section 3).
+const (
+	CodeSuccess        = 1000
+	CodeSuccessLogout  = 1500
+	CodeAuthError      = 2200
+	CodeObjectExists   = 2302
+	CodeObjectNotFound = 2303
+	CodeAuthorization  = 2201
+	CodeParamError     = 2005
+	CodeCommandFailed  = 2400
+)
+
+// Frame I/O: EPP over TCP prefixes each XML document with a 4-octet total
+// length (including the prefix itself), RFC 5734 section 4.
+
+// maxFrame bounds accepted frames (1 MiB).
+const maxFrame = 1 << 20
+
+// WriteFrame sends one EPP data unit.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload)+4 > maxFrame {
+		return errors.New("epp: frame too large")
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)+4))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame receives one EPP data unit.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total < 4 || total > maxFrame {
+		return nil, fmt.Errorf("epp: bad frame length %d", total)
+	}
+	payload := make([]byte, total-4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ---------------------------------------------------------------- documents
+
+// Epp is the root element of every EPP document.
+type Epp struct {
+	XMLName  xml.Name  `xml:"epp"`
+	Greeting *Greeting `xml:"greeting,omitempty"`
+	Command  *Command  `xml:"command,omitempty"`
+	Response *Response `xml:"response,omitempty"`
+}
+
+// Greeting is the server hello (RFC 5730 section 2.4).
+type Greeting struct {
+	SvID     string   `xml:"svID"`
+	Services []string `xml:"svcMenu>objURI"`
+}
+
+// Command is a client request.
+type Command struct {
+	Login  *Login        `xml:"login,omitempty"`
+	Logout *struct{}     `xml:"logout,omitempty"`
+	Create *DomainCreate `xml:"create>domain-create,omitempty"`
+	Info   *DomainRef    `xml:"info>domain-info,omitempty"`
+	Delete *DomainRef    `xml:"delete>domain-delete,omitempty"`
+	Renew  *DomainRef    `xml:"renew>domain-renew,omitempty"`
+	Update *DomainUpdate `xml:"update>domain-update,omitempty"`
+	// Extension carries the secDNS payload for create/update.
+	Extension *Extension `xml:"extension,omitempty"`
+	ClTRID    string     `xml:"clTRID,omitempty"`
+}
+
+// Login authenticates a registrar session (RFC 5730 section 2.9.1.1).
+type Login struct {
+	ClID string `xml:"clID"`
+	Pw   string `xml:"pw"`
+}
+
+// DomainRef names a domain for info/delete/renew.
+type DomainRef struct {
+	Name string `xml:"name"`
+}
+
+// DomainCreate provisions a domain with its delegation (RFC 5731 3.2.1).
+type DomainCreate struct {
+	Name string   `xml:"name"`
+	NS   []string `xml:"ns>hostObj"`
+}
+
+// DomainUpdate changes a delegation (RFC 5731 3.2.5). A non-empty NS list
+// replaces the delegation — a simplification of the RFC's add/rem dance
+// that matches how registrar control panels behave.
+type DomainUpdate struct {
+	Name string   `xml:"name"`
+	NS   []string `xml:"chg>ns>hostObj,omitempty"`
+}
+
+// Extension wraps protocol extensions; only secDNS is supported.
+type Extension struct {
+	SecDNS *SecDNS `xml:"secDNS-update,omitempty"`
+}
+
+// SecDNS is the RFC 5910 DS data payload. Rem removes all DS data ("urgent
+// remove all" in the RFC's terms); Add supplies the new DS set.
+type SecDNS struct {
+	RemAll bool     `xml:"rem>all,omitempty"`
+	Add    []DSData `xml:"add>dsData,omitempty"`
+}
+
+// DSData is one DS record in secDNS form.
+type DSData struct {
+	KeyTag     uint16 `xml:"keyTag"`
+	Alg        uint8  `xml:"alg"`
+	DigestType uint8  `xml:"digestType"`
+	Digest     string `xml:"digest"`
+}
+
+// ToDS converts secDNS data to a wire DS record.
+func (d DSData) ToDS() (*dnswire.DS, error) {
+	digest, err := hex.DecodeString(strings.ToLower(strings.TrimSpace(d.Digest)))
+	if err != nil {
+		return nil, fmt.Errorf("epp: bad DS digest: %w", err)
+	}
+	return &dnswire.DS{
+		KeyTag:     d.KeyTag,
+		Algorithm:  dnswire.Algorithm(d.Alg),
+		DigestType: dnswire.DigestType(d.DigestType),
+		Digest:     digest,
+	}, nil
+}
+
+// FromDS converts a wire DS record to secDNS form.
+func FromDS(ds *dnswire.DS) DSData {
+	return DSData{
+		KeyTag:     ds.KeyTag,
+		Alg:        uint8(ds.Algorithm),
+		DigestType: uint8(ds.DigestType),
+		Digest:     strings.ToUpper(hex.EncodeToString(ds.Digest)),
+	}
+}
+
+// Response is a server reply.
+type Response struct {
+	Result  Result      `xml:"result"`
+	ResData *DomainInfo `xml:"resData>domain-info,omitempty"`
+	ClTRID  string      `xml:"trID>clTRID,omitempty"`
+	SvTRID  string      `xml:"trID>svTRID,omitempty"`
+}
+
+// Result carries the RFC 5730 result code and message.
+type Result struct {
+	Code int    `xml:"code,attr"`
+	Msg  string `xml:"msg"`
+}
+
+// OK reports a successful (1xxx) result.
+func (r Result) OK() bool { return r.Code >= 1000 && r.Code < 2000 }
+
+// DomainInfo is the info response payload.
+type DomainInfo struct {
+	Name    string   `xml:"name"`
+	ClID    string   `xml:"clID"`
+	NS      []string `xml:"ns>hostObj"`
+	DS      []DSData `xml:"secDNS>dsData,omitempty"`
+	Created string   `xml:"crDate,omitempty"`
+	Expires string   `xml:"exDate,omitempty"`
+}
+
+// Marshal renders an EPP document with the XML declaration.
+func Marshal(doc *Epp) ([]byte, error) {
+	body, err := xml.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), body...), nil
+}
+
+// Unmarshal parses an EPP document.
+func Unmarshal(b []byte) (*Epp, error) {
+	var doc Epp
+	if err := xml.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("epp: %w", err)
+	}
+	return &doc, nil
+}

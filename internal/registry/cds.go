@@ -1,0 +1,171 @@
+package registry
+
+import (
+	"context"
+
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// CDSReport summarizes one CDS/CDNSKEY polling sweep (RFC 7344, RFC 8078).
+type CDSReport struct {
+	Day simtime.Day
+	// Scanned is the number of registrations polled.
+	Scanned int
+	// Updated counts DS RRsets replaced from authenticated CDS records.
+	Updated int
+	// Bootstrapped counts initial DS publications accepted from insecure
+	// CDS records (RFC 8078 section 3 "accept with policy").
+	Bootstrapped int
+	// Removed counts DS RRsets deleted via the algorithm-0 sentinel.
+	Removed int
+	// Rejected counts CDS RRsets that failed authentication.
+	Rejected int
+}
+
+// ScanCDS polls every registration's apex for CDS records and applies
+// authenticated changes to the registry DS database. When bootstrap is
+// true, domains without an existing DS may establish one from an
+// (unauthenticated but self-consistent) CDS — the policy .cz adopted; with
+// bootstrap false only domains already in the chain of trust can roll keys.
+//
+// This is the mechanism the paper's section 8 recommends registries deploy
+// to remove the human DS-relay step entirely.
+func (r *Registry) ScanCDS(ctx context.Context, ex dnsserver.Exchanger, day simtime.Day, bootstrap bool) (*CDSReport, error) {
+	if !r.cfg.SupportsCDS {
+		return nil, ErrNoDNSSEC
+	}
+	r.mu.RLock()
+	type item struct {
+		domain string
+		regID  string
+		ns     []string
+		ds     []*dnswire.DS
+	}
+	var items []item
+	for d, reg := range r.regs {
+		items = append(items, item{d, reg.RegistrarID, append([]string(nil), reg.NS...), append([]*dnswire.DS(nil), reg.DS...)})
+	}
+	r.mu.RUnlock()
+
+	report := &CDSReport{Day: day}
+	var qid uint16
+	for _, it := range items {
+		report.Scanned++
+		qid++
+		cdsRRs, sigs, keys, keyRRs, keySigs := r.fetchCDS(ctx, ex, qid, it.domain, it.ns)
+		if len(cdsRRs) == 0 {
+			continue
+		}
+		var cds []*dnswire.CDS
+		for _, rr := range cdsRRs {
+			cds = append(cds, rr.Data.(*dnswire.CDS))
+		}
+		newDS, remove := dnssec.DSFromCDS(cds)
+		authenticated := false
+		if len(it.ds) > 0 {
+			// RFC 7344: the CDS must be signed by a key that the current
+			// chain of trust (existing DS) vouches for.
+			var trusted []*dnswire.DNSKEY
+			for _, dk := range keys {
+				if dnssec.MatchAnyDS(it.domain, it.ds, []*dnswire.DNSKEY{dk}) {
+					trusted = append(trusted, dk)
+				}
+			}
+			// The DNSKEY RRset itself must verify under a trusted key, and
+			// the CDS RRset under some key in the (now-verified) set.
+			keysValid := false
+			for _, sig := range keySigs {
+				if dnssec.VerifyWithAnyKey(keyRRs, sig, trusted, day.Time()) == nil {
+					keysValid = true
+					break
+				}
+			}
+			if keysValid {
+				for _, sig := range sigs {
+					if dnssec.VerifyWithAnyKey(cdsRRs, sig, keys, day.Time()) == nil {
+						authenticated = true
+						break
+					}
+				}
+			}
+		} else if bootstrap && !remove {
+			// No existing DS: accept self-consistent CDS (TOFU policy).
+			for _, sig := range sigs {
+				if dnssec.VerifyWithAnyKey(cdsRRs, sig, keys, day.Time()) == nil {
+					authenticated = true
+					break
+				}
+			}
+			if authenticated {
+				// The bootstrap CDS must match a served DNSKEY.
+				if !dnssec.MatchAnyDS(it.domain, newDS, keys) {
+					authenticated = false
+				}
+			}
+		}
+		if !authenticated {
+			report.Rejected++
+			continue
+		}
+		switch {
+		case remove:
+			if err := r.SetDS(it.regID, it.domain, nil); err == nil {
+				report.Removed++
+			}
+		case len(it.ds) == 0:
+			if err := r.SetDS(it.regID, it.domain, newDS); err == nil {
+				report.Bootstrapped++
+			}
+		default:
+			if err := r.SetDS(it.regID, it.domain, newDS); err == nil {
+				report.Updated++
+			}
+		}
+	}
+	return report, nil
+}
+
+// fetchCDS queries a domain's nameservers for its CDS RRset and DNSKEY
+// RRset (both with signatures).
+func (r *Registry) fetchCDS(ctx context.Context, ex dnsserver.Exchanger, qid uint16, domain string, ns []string) (cdsRRs []*dnswire.RR, cdsSigs []*dnswire.RRSIG, keys []*dnswire.DNSKEY, keyRRs []*dnswire.RR, keySigs []*dnswire.RRSIG) {
+	ask := func(t dnswire.Type) *dnswire.Message {
+		q := dnswire.NewQuery(qid, domain, t)
+		q.SetEDNS(4096, true)
+		for _, host := range ns {
+			resp, err := ex.Exchange(ctx, host, q)
+			if err == nil && resp.RCode == dnswire.RCodeSuccess {
+				return resp
+			}
+		}
+		return nil
+	}
+	if resp := ask(dnswire.TypeCDS); resp != nil {
+		for _, rr := range resp.Answers {
+			switch d := rr.Data.(type) {
+			case *dnswire.CDS:
+				cdsRRs = append(cdsRRs, rr)
+			case *dnswire.RRSIG:
+				if d.TypeCovered == dnswire.TypeCDS {
+					cdsSigs = append(cdsSigs, d)
+				}
+			}
+		}
+	}
+	if resp := ask(dnswire.TypeDNSKEY); resp != nil {
+		for _, rr := range resp.Answers {
+			switch d := rr.Data.(type) {
+			case *dnswire.DNSKEY:
+				keys = append(keys, d)
+				keyRRs = append(keyRRs, rr)
+			case *dnswire.RRSIG:
+				if d.TypeCovered == dnswire.TypeDNSKEY {
+					keySigs = append(keySigs, d)
+				}
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,547 @@
+// Package registry models TLD registries: the organizations that maintain a
+// TLD zone file, accredit registrars, accept delegations (NS) and DS
+// records, and — for some ccTLDs — pay registrars financial incentives for
+// correctly DNSSEC-signed domains.
+//
+// A Registry owns an authoritative, DNSSEC-signed TLD zone served through
+// package dnsserver. Every state change a registrar makes (registration,
+// nameserver change, DS upload) is reflected in the zone immediately, with
+// the affected DS RRset re-signed incrementally, so the scanning and
+// validation layers observe registry state strictly through DNS — exactly
+// as OpenINTEL does in the paper.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// Errors returned by registry operations.
+var (
+	ErrNotAccredited    = errors.New("registry: registrar is not accredited for this TLD")
+	ErrAlreadyExists    = errors.New("registry: domain is already registered")
+	ErrNoSuchDomain     = errors.New("registry: domain is not registered")
+	ErrWrongRegistrar   = errors.New("registry: domain is managed by another registrar")
+	ErrOutsideTLD       = errors.New("registry: domain does not belong to this TLD")
+	ErrNoDNSSEC         = errors.New("registry: registry does not accept DS records")
+	ErrEmptyNameservers = errors.New("registry: at least one nameserver is required")
+)
+
+// Incentive is a ccTLD-style financial incentive program (section 6.3):
+// a yearly discount per correctly signed domain, with an audit rule that
+// suspends the discount for registrars failing validation too often
+// (".nl registrars should not fail validations more than 14 times in six
+// months").
+type Incentive struct {
+	// DiscountPerYear is the per-domain yearly discount (e.g. €0.28 for
+	// .nl, 10 SEK for .se).
+	DiscountPerYear float64
+	// MaxFailures within WindowDays suspends a registrar's discount.
+	MaxFailures int
+	WindowDays  int
+}
+
+// Registration is one domain's entry in the registry database.
+type Registration struct {
+	Domain      string
+	RegistrarID string
+	NS          []string
+	DS          []*dnswire.DS
+	Created     simtime.Day
+	Expires     simtime.Day
+}
+
+// clone returns a defensive copy.
+func (r *Registration) clone() *Registration {
+	c := *r
+	c.NS = append([]string(nil), r.NS...)
+	c.DS = append([]*dnswire.DS(nil), r.DS...)
+	return &c
+}
+
+// Config configures a Registry.
+type Config struct {
+	// TLD is the zone this registry operates ("com", "nl", ...).
+	TLD string
+	// NSHost is the hostname of the TLD's authoritative server.
+	NSHost string
+	// Algorithm signs the TLD zone (default Ed25519 for speed at scale).
+	Algorithm dnswire.Algorithm
+	// AcceptsDS is true for DNSSEC-enabled registries (all five studied
+	// TLDs accept DS records).
+	AcceptsDS bool
+	// SupportsCDS enables RFC 7344/8078 automated DS maintenance — at the
+	// time of the paper only .cz had deployed this.
+	SupportsCDS bool
+	// Incentive enables a financial incentive program (nil for none).
+	Incentive *Incentive
+	// Clock supplies the current simulation day.
+	Clock func() simtime.Day
+	// RegistrationYears is the registration period (default 1 year).
+	RegistrationYears int
+}
+
+// Registry is one TLD registry.
+type Registry struct {
+	cfg    Config
+	signer *zone.Signer
+
+	mu         sync.RWMutex
+	zone       *zone.Zone
+	regs       map[string]*Registration
+	accredited map[string]bool
+	// failures tracks validation-failure days per registrar for the
+	// incentive audit window.
+	failures map[string][]simtime.Day
+	// discounts accrues paid incentives per registrar.
+	discounts map[string]float64
+
+	srv *dnsserver.Authoritative
+}
+
+// New builds a registry with a freshly signed TLD zone and registers its
+// authoritative server on net.
+func New(cfg Config, net *dnsserver.MemNet) (*Registry, error) {
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = dnswire.AlgED25519
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() simtime.Day { return simtime.GTLDStart }
+	}
+	if cfg.RegistrationYears == 0 {
+		cfg.RegistrationYears = 1
+	}
+	tld := dnswire.CanonicalName(cfg.TLD)
+	cfg.TLD = tld
+	z := zone.New(tld)
+	z.MustAdd(dnswire.NewRR(tld, 86400, &dnswire.SOA{
+		MName: cfg.NSHost, RName: "hostmaster." + cfg.NSHost,
+		Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 3600,
+	}))
+	z.MustAdd(dnswire.NewRR(tld, 86400, &dnswire.NS{Host: cfg.NSHost}))
+	signer, err := zone.NewSigner(cfg.Algorithm, cfg.Clock().Time())
+	if err != nil {
+		return nil, err
+	}
+	// A registry's signatures must outlive the whole measurement window.
+	signer.Expiration = simtime.End.Time().AddDate(1, 0, 0)
+	if err := signer.Sign(z); err != nil {
+		return nil, err
+	}
+	r := &Registry{
+		cfg:        cfg,
+		signer:     signer,
+		zone:       z,
+		regs:       make(map[string]*Registration),
+		accredited: make(map[string]bool),
+		failures:   make(map[string][]simtime.Day),
+		discounts:  make(map[string]float64),
+		srv:        dnsserver.NewAuthoritative(),
+	}
+	r.srv.AddZone(z)
+	if net != nil {
+		net.Register(cfg.NSHost, r.srv)
+	}
+	return r, nil
+}
+
+// TLD returns the TLD this registry operates.
+func (r *Registry) TLD() string { return r.cfg.TLD }
+
+// NSHost returns the registry nameserver hostname.
+func (r *Registry) NSHost() string { return r.cfg.NSHost }
+
+// Zone exposes the live TLD zone (for scan harnesses and wiring the root).
+func (r *Registry) Zone() *zone.Zone { return r.zone }
+
+// Server exposes the registry's authoritative server.
+func (r *Registry) Server() *dnsserver.Authoritative { return r.srv }
+
+// DSRecords returns the DS set the root should publish for this TLD.
+func (r *Registry) DSRecords() ([]*dnswire.DS, error) {
+	return r.signer.DSRecords(r.cfg.TLD, dnswire.DigestSHA256)
+}
+
+// SupportsCDS reports whether the registry polls CDS/CDNSKEY records.
+func (r *Registry) SupportsCDS() bool { return r.cfg.SupportsCDS }
+
+// Accredit grants a registrar write access to this registry.
+func (r *Registry) Accredit(registrarID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.accredited[registrarID] = true
+}
+
+// IsAccredited reports whether a registrar can write to this registry.
+func (r *Registry) IsAccredited(registrarID string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.accredited[registrarID]
+}
+
+// checkDomain validates bailiwick and accreditation.
+func (r *Registry) checkDomain(registrarID, domain string) (string, error) {
+	domain = dnswire.CanonicalName(domain)
+	parent, _ := dnswire.Parent(domain)
+	if parent != r.cfg.TLD || dnswire.CountLabels(domain) != dnswire.CountLabels(r.cfg.TLD)+1 {
+		return "", fmt.Errorf("%w: %s not in .%s", ErrOutsideTLD, domain, r.cfg.TLD)
+	}
+	if !r.accredited[registrarID] {
+		return "", fmt.Errorf("%w: %s", ErrNotAccredited, registrarID)
+	}
+	return domain, nil
+}
+
+// Register creates a new registration with its delegation.
+func (r *Registry) Register(registrarID, domain string, ns []string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	domain, err := r.checkDomain(registrarID, domain)
+	if err != nil {
+		return err
+	}
+	if len(ns) == 0 {
+		return ErrEmptyNameservers
+	}
+	if _, ok := r.regs[domain]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyExists, domain)
+	}
+	now := r.cfg.Clock()
+	r.regs[domain] = &Registration{
+		Domain:      domain,
+		RegistrarID: registrarID,
+		NS:          normalizeHosts(ns),
+		Created:     now,
+		Expires:     now + simtime.Day(365*r.cfg.RegistrationYears),
+	}
+	return r.syncDelegationLocked(domain)
+}
+
+// Drop removes a registration entirely.
+func (r *Registry) Drop(registrarID, domain string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	domain, err := r.ownedDomain(registrarID, domain)
+	if err != nil {
+		return err
+	}
+	delete(r.regs, domain)
+	return r.syncDelegationLocked(domain)
+}
+
+// SetNS replaces a domain's delegation.
+func (r *Registry) SetNS(registrarID, domain string, ns []string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	domain, err := r.ownedDomain(registrarID, domain)
+	if err != nil {
+		return err
+	}
+	if len(ns) == 0 {
+		return ErrEmptyNameservers
+	}
+	r.regs[domain].NS = normalizeHosts(ns)
+	return r.syncDelegationLocked(domain)
+}
+
+// SetDS replaces a domain's DS RRset. The registry stores whatever the
+// registrar sends — the paper shows that validation, when it happens at
+// all, happens at the registrar.
+func (r *Registry) SetDS(registrarID, domain string, ds []*dnswire.DS) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.cfg.AcceptsDS {
+		return ErrNoDNSSEC
+	}
+	domain, err := r.ownedDomain(registrarID, domain)
+	if err != nil {
+		return err
+	}
+	r.regs[domain].DS = append([]*dnswire.DS(nil), ds...)
+	return r.syncDelegationLocked(domain)
+}
+
+// DeleteDS removes a domain's DS RRset.
+func (r *Registry) DeleteDS(registrarID, domain string) error {
+	return r.SetDS(registrarID, domain, nil)
+}
+
+// Renew extends a registration by the registry's period. Resellers that
+// switch partner registrars migrate domains at renewal (section 6.3), so
+// renewal is an explicit event.
+func (r *Registry) Renew(registrarID, domain string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	domain, err := r.ownedDomain(registrarID, domain)
+	if err != nil {
+		return err
+	}
+	r.regs[domain].Expires += simtime.Day(365 * r.cfg.RegistrationYears)
+	return nil
+}
+
+// TransferRegistrar reassigns management of a domain to another accredited
+// registrar (used by resellers switching partners).
+func (r *Registry) TransferRegistrar(fromID, toID, domain string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	domain, err := r.ownedDomain(fromID, domain)
+	if err != nil {
+		return err
+	}
+	if !r.accredited[toID] {
+		return fmt.Errorf("%w: %s", ErrNotAccredited, toID)
+	}
+	r.regs[domain].RegistrarID = toID
+	return nil
+}
+
+// ownedDomain checks bailiwick, accreditation and ownership. Callers hold
+// the lock.
+func (r *Registry) ownedDomain(registrarID, domain string) (string, error) {
+	domain, err := r.checkDomain(registrarID, domain)
+	if err != nil {
+		return "", err
+	}
+	reg, ok := r.regs[domain]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoSuchDomain, domain)
+	}
+	if reg.RegistrarID != registrarID {
+		return "", fmt.Errorf("%w: %s is managed by %s", ErrWrongRegistrar, domain, reg.RegistrarID)
+	}
+	return domain, nil
+}
+
+// Registration returns a copy of a domain's registry entry.
+func (r *Registry) Registration(domain string) (*Registration, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	reg, ok := r.regs[dnswire.CanonicalName(domain)]
+	if !ok {
+		return nil, false
+	}
+	return reg.clone(), true
+}
+
+// Domains returns all registered domain names, sorted.
+func (r *Registry) Domains() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.regs))
+	for d := range r.regs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DomainCount returns the number of registrations.
+func (r *Registry) DomainCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.regs)
+}
+
+// syncDelegationLocked rewrites the zone records for one domain from its
+// registration and re-signs the DS RRset only. Callers hold the lock.
+func (r *Registry) syncDelegationLocked(domain string) error {
+	r.zone.Remove(domain, dnswire.TypeNS)
+	r.zone.Remove(domain, dnswire.TypeDS)
+	r.zone.RemoveSigs(domain, dnswire.TypeDS)
+	reg, ok := r.regs[domain]
+	if !ok {
+		return nil
+	}
+	for _, host := range reg.NS {
+		if err := r.zone.Add(dnswire.NewRR(domain, 86400, &dnswire.NS{Host: host})); err != nil {
+			return err
+		}
+	}
+	for _, ds := range reg.DS {
+		d := *ds
+		d.Digest = append([]byte(nil), ds.Digest...)
+		if err := r.zone.Add(dnswire.NewRR(domain, 86400, &d)); err != nil {
+			return err
+		}
+	}
+	if len(reg.DS) > 0 {
+		if err := r.signer.SignSet(r.zone, domain, dnswire.TypeDS); err != nil {
+			return err
+		}
+	}
+	r.zone.BumpSerial()
+	return nil
+}
+
+// normalizeHosts canonicalizes and deduplicates NS hostnames.
+func normalizeHosts(hosts []string) []string {
+	seen := make(map[string]bool, len(hosts))
+	out := make([]string, 0, len(hosts))
+	for _, h := range hosts {
+		c := dnswire.CanonicalName(h)
+		if c == "" || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// HealthReport summarizes one incentive audit sweep.
+type HealthReport struct {
+	Day simtime.Day
+	// Checked is the number of DS-bearing domains audited.
+	Checked int
+	// Valid counts domains whose chain validated.
+	Valid int
+	// FailuresByRegistrar counts broken domains per responsible registrar.
+	FailuresByRegistrar map[string]int
+	// DiscountsAccrued is the per-registrar discount granted for this day.
+	DiscountsAccrued map[string]float64
+}
+
+// HealthCheck audits every DS-bearing domain by querying its nameservers
+// for DNSKEYs over ex and checking the DS linkage and DNSKEY RRset
+// signature — the daily compliance test .nl and .se run (section 6.3).
+// Correctly signed domains accrue the pro-rated daily discount for their
+// registrar unless the registrar is over the failure threshold.
+func (r *Registry) HealthCheck(ctx context.Context, ex dnsserver.Exchanger, day simtime.Day) (*HealthReport, error) {
+	if r.cfg.Incentive == nil {
+		return nil, errors.New("registry: no incentive program configured")
+	}
+	r.mu.RLock()
+	type item struct {
+		domain      string
+		registrarID string
+		ns          []string
+		ds          []*dnswire.DS
+	}
+	var items []item
+	for d, reg := range r.regs {
+		if len(reg.DS) > 0 {
+			items = append(items, item{d, reg.RegistrarID, append([]string(nil), reg.NS...), append([]*dnswire.DS(nil), reg.DS...)})
+		}
+	}
+	r.mu.RUnlock()
+
+	report := &HealthReport{
+		Day:                 day,
+		FailuresByRegistrar: make(map[string]int),
+		DiscountsAccrued:    make(map[string]float64),
+	}
+	var qid uint16
+	perRegistrarValid := make(map[string]int)
+	for _, it := range items {
+		report.Checked++
+		qid++
+		if r.domainHealthy(ctx, ex, qid, it.domain, it.ns, it.ds, day) {
+			report.Valid++
+			perRegistrarValid[it.registrarID]++
+		} else {
+			report.FailuresByRegistrar[it.registrarID]++
+			r.recordFailure(it.registrarID, day)
+		}
+	}
+	// Grant the pro-rated daily discount for valid domains of registrars
+	// under the audit threshold.
+	daily := r.cfg.Incentive.DiscountPerYear / 365
+	r.mu.Lock()
+	for regID, n := range perRegistrarValid {
+		if r.overThresholdLocked(regID, day) {
+			continue
+		}
+		amount := float64(n) * daily
+		r.discounts[regID] += amount
+		report.DiscountsAccrued[regID] = amount
+	}
+	r.mu.Unlock()
+	return report, nil
+}
+
+// domainHealthy checks one domain's DS↔DNSKEY linkage via live queries.
+func (r *Registry) domainHealthy(ctx context.Context, ex dnsserver.Exchanger, qid uint16, domain string, ns []string, ds []*dnswire.DS, day simtime.Day) bool {
+	q := dnswire.NewQuery(qid, domain, dnswire.TypeDNSKEY)
+	q.SetEDNS(4096, true)
+	var resp *dnswire.Message
+	var err error
+	for _, host := range ns {
+		resp, err = ex.Exchange(ctx, host, q)
+		if err == nil && resp.RCode == dnswire.RCodeSuccess {
+			break
+		}
+	}
+	if err != nil || resp == nil || resp.RCode != dnswire.RCodeSuccess {
+		return false
+	}
+	var keys []*dnswire.DNSKEY
+	var keyRRs []*dnswire.RR
+	var sigs []*dnswire.RRSIG
+	for _, rr := range resp.Answers {
+		switch d := rr.Data.(type) {
+		case *dnswire.DNSKEY:
+			keys = append(keys, d)
+			keyRRs = append(keyRRs, rr)
+		case *dnswire.RRSIG:
+			if d.TypeCovered == dnswire.TypeDNSKEY {
+				sigs = append(sigs, d)
+			}
+		}
+	}
+	if len(keys) == 0 || !dnssec.MatchAnyDS(domain, ds, keys) {
+		return false
+	}
+	for _, sig := range sigs {
+		if dnssec.VerifyWithAnyKey(keyRRs, sig, keys, day.Time()) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Registry) recordFailure(registrarID string, day simtime.Day) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failures[registrarID] = append(r.failures[registrarID], day)
+}
+
+func (r *Registry) overThreshold(registrarID string, day simtime.Day) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.overThresholdLocked(registrarID, day)
+}
+
+func (r *Registry) overThresholdLocked(registrarID string, day simtime.Day) bool {
+	inc := r.cfg.Incentive
+	if inc == nil || inc.MaxFailures <= 0 {
+		return false
+	}
+	n := 0
+	for _, d := range r.failures[registrarID] {
+		if day-d <= simtime.Day(inc.WindowDays) {
+			n++
+		}
+	}
+	return n > inc.MaxFailures
+}
+
+// Discounts returns the accrued incentive payouts per registrar.
+func (r *Registry) Discounts() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.discounts))
+	for k, v := range r.discounts {
+		out[k] = v
+	}
+	return out
+}

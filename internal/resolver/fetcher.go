@@ -1,0 +1,63 @@
+package resolver
+
+import (
+	"context"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// Fetcher adapts the resolver to the dnssec.Fetcher interface so the chain
+// validator can pull RRsets and zone-cut structure through live queries.
+type Fetcher struct {
+	R *Resolver
+}
+
+// FetchRRSet implements dnssec.Fetcher.
+func (f *Fetcher) FetchRRSet(ctx context.Context, name string, t dnswire.Type) (*dnssec.RRSet, error) {
+	res, err := f.R.Resolve(ctx, name, t)
+	if err != nil {
+		return nil, err
+	}
+	set := res.RRSet(name, t)
+	set.Authority = res.Authority
+	set.NXDomain = res.RCode == dnswire.RCodeNameError
+	return set, nil
+}
+
+// Cuts implements dnssec.Fetcher: the zone apexes crossed while resolving
+// name, which the referral chase discovers as a side effect.
+func (f *Fetcher) Cuts(ctx context.Context, name string) ([]string, error) {
+	res, err := f.R.Resolve(ctx, name, dnswire.TypeNS)
+	if err != nil {
+		return nil, err
+	}
+	return res.Cuts, nil
+}
+
+// Validating bundles a resolver with a trust anchor into a one-call
+// validating lookup, the moral equivalent of `dig +dnssec` plus chain
+// validation in DNSViz.
+type Validating struct {
+	R      *Resolver
+	Anchor []*dnswire.DS
+	// Now supplies validation time (time.Now when nil); the simulation
+	// injects its clock here.
+	Now func() time.Time
+}
+
+// Lookup resolves and validates (name, t); it returns both the lookup
+// result and the chain validation outcome.
+func (v *Validating) Lookup(ctx context.Context, name string, t dnswire.Type) (*Result, *dnssec.Result, error) {
+	res, err := v.R.Resolve(ctx, name, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	val := &dnssec.Validator{Anchor: v.Anchor, Fetch: &Fetcher{R: v.R}, Now: v.Now}
+	chain, err := val.Validate(ctx, name, t)
+	if err != nil {
+		return res, chain, nil // chain carries Indeterminate + reason
+	}
+	return res, chain, nil
+}

@@ -1,0 +1,223 @@
+// Package scan implements the OpenINTEL-style measurement engine: for every
+// second-level domain in a TLD it collects the NS RRset and DS RRset from
+// the TLD's authoritative servers and the DNSKEY RRset (with RRSIGs) from
+// the domain's own nameservers, producing one dataset.Record per domain —
+// the exact observable basis of the paper's longitudinal study (section
+// 4.1).
+//
+// A worker pool issues the queries through a dnsserver.Exchanger, so scans
+// run identically against the in-memory simulation and against real
+// UDP/TCP servers.
+package scan
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// Target is one domain to scan.
+type Target struct {
+	Domain string
+	TLD    string
+}
+
+// Config configures a Scanner.
+type Config struct {
+	// Exchange carries queries.
+	Exchange dnsserver.Exchanger
+	// TLDServers maps each TLD to its authoritative server address.
+	TLDServers map[string]string
+	// Workers is the concurrency of the sweep (default 16).
+	Workers int
+	// Clock anchors RRSIG validity checking.
+	Clock func() simtime.Day
+}
+
+// Scanner sweeps domain populations.
+type Scanner struct {
+	cfg     Config
+	queries atomic.Int64
+	qid     atomic.Uint32
+}
+
+// New creates a scanner.
+func New(cfg Config) (*Scanner, error) {
+	if cfg.Exchange == nil {
+		return nil, fmt.Errorf("scan: exchanger required")
+	}
+	if len(cfg.TLDServers) == 0 {
+		return nil, fmt.Errorf("scan: no TLD servers configured")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 16
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() simtime.Day { return simtime.End }
+	}
+	return &Scanner{cfg: cfg}, nil
+}
+
+// Queries reports the total queries issued across all sweeps.
+func (s *Scanner) Queries() int64 { return s.queries.Load() }
+
+// ScanDay sweeps the targets and returns the day's snapshot. Unregistered
+// domains (NXDOMAIN at the TLD) are omitted, as they are absent from zone
+// files.
+func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target) (*dataset.Snapshot, error) {
+	snap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(targets))}
+	var mu sync.Mutex
+	jobs := make(chan Target)
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				rec, ok := s.scanOne(ctx, t)
+				if !ok {
+					continue
+				}
+				mu.Lock()
+				snap.Records = append(snap.Records, rec)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, t := range targets {
+		if ctx.Err() != nil {
+			break
+		}
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
+// exchange sends one query, counting it.
+func (s *Scanner) exchange(ctx context.Context, server string, name string, t dnswire.Type) (*dnswire.Message, error) {
+	q := dnswire.NewQuery(uint16(s.qid.Add(1)), name, t)
+	q.SetEDNS(4096, true)
+	s.queries.Add(1)
+	return s.cfg.Exchange.Exchange(ctx, server, q)
+}
+
+// scanOne collects the four facts for one domain.
+func (s *Scanner) scanOne(ctx context.Context, t Target) (dataset.Record, bool) {
+	rec := dataset.Record{Domain: t.Domain, TLD: t.TLD}
+	tldServer, ok := s.cfg.TLDServers[t.TLD]
+	if !ok {
+		return rec, false
+	}
+	// 1. NS from the TLD zone (a referral; the NS set rides in authority).
+	resp, err := s.exchange(ctx, tldServer, t.Domain, dnswire.TypeNS)
+	if err != nil || resp.RCode == dnswire.RCodeNameError {
+		return rec, false
+	}
+	for _, section := range [][]*dnswire.RR{resp.Authority, resp.Answers} {
+		for _, rr := range section {
+			if rr.Type == dnswire.TypeNS && rr.Name == t.Domain {
+				rec.NSHosts = append(rec.NSHosts, rr.Data.(*dnswire.NS).Host)
+			}
+		}
+	}
+	if len(rec.NSHosts) == 0 {
+		return rec, false
+	}
+	rec.Operator = dataset.GroupOperatorAll(rec.NSHosts)
+
+	// 2. DS from the TLD zone (answered authoritatively by the parent).
+	var dss []*dnswire.DS
+	if resp, err := s.exchange(ctx, tldServer, t.Domain, dnswire.TypeDS); err == nil {
+		for _, rr := range resp.Answers {
+			if ds, ok := rr.Data.(*dnswire.DS); ok && rr.Name == t.Domain {
+				dss = append(dss, ds)
+				rec.HasDS = true
+			}
+		}
+	}
+
+	// 3. DNSKEY (+RRSIG) from the domain's own nameservers.
+	var keys []*dnswire.DNSKEY
+	var keyRRs []*dnswire.RR
+	var sigs []*dnswire.RRSIG
+	for _, host := range rec.NSHosts {
+		resp, err := s.exchange(ctx, host, t.Domain, dnswire.TypeDNSKEY)
+		if err != nil || resp.RCode != dnswire.RCodeSuccess {
+			continue
+		}
+		for _, rr := range resp.Answers {
+			switch d := rr.Data.(type) {
+			case *dnswire.DNSKEY:
+				keys = append(keys, d)
+				keyRRs = append(keyRRs, rr)
+			case *dnswire.RRSIG:
+				if d.TypeCovered == dnswire.TypeDNSKEY {
+					sigs = append(sigs, d)
+				}
+			}
+		}
+		break
+	}
+	rec.HasDNSKEY = len(keys) > 0
+	rec.HasRRSIG = len(sigs) > 0
+
+	// 4. Chain validity: some DS matches a served key AND the DNSKEY RRset
+	// signature verifies — the paper's criterion for a correctly deployed
+	// domain.
+	if rec.HasDS && rec.HasDNSKEY && dnssec.MatchAnyDS(t.Domain, dss, keys) {
+		now := s.cfg.Clock().Time()
+		for _, sig := range sigs {
+			if dnssec.VerifyWithAnyKey(keyRRs, sig, keys, now) == nil {
+				rec.ChainValid = true
+				break
+			}
+		}
+	}
+	return rec, true
+}
+
+// TargetsFromZone extracts the second-level scan targets from a TLD zone
+// (e.g. one obtained via AXFR): every delegation directly below the apex.
+func TargetsFromZone(z *zone.Zone) []Target {
+	tld := z.Origin
+	seen := map[string]bool{}
+	var out []Target
+	z.RRSets(func(name string, t dnswire.Type, _ []*dnswire.RR) {
+		if t != dnswire.TypeNS || name == tld || seen[name] {
+			return
+		}
+		if parent, _ := dnswire.Parent(name); parent != tld {
+			return
+		}
+		seen[name] = true
+		out = append(out, Target{Domain: name, TLD: tld})
+	})
+	return out
+}
+
+// TargetsFromDomains builds scan targets from bare domain names.
+func TargetsFromDomains(domains []string) []Target {
+	out := make([]Target, 0, len(domains))
+	for _, d := range domains {
+		d = dnswire.CanonicalName(d)
+		tld, ok := dnswire.Parent(d)
+		if !ok {
+			continue
+		}
+		out = append(out, Target{Domain: d, TLD: tld})
+	}
+	return out
+}

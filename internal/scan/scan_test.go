@@ -1,0 +1,270 @@
+package scan_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/registrar"
+	"securepki.org/registrarsec/internal/scan"
+)
+
+// buildWorld wires an ecosystem with registrars producing every deployment
+// class, returning the ecosystem and the scan targets.
+func buildWorld(t *testing.T) (*dnstest.Ecosystem, []scan.Target) {
+	t.Helper()
+	eco, err := dnstest.NewEcosystem(dnstest.EcosystemConfig{TLDs: []string{"com", "nl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(p registrar.Policy) *registrar.Registrar {
+		if p.Roles == nil {
+			p.Roles = map[string]registrar.Role{
+				"com": {Kind: registrar.RoleRegistrar},
+				"nl":  {Kind: registrar.RoleRegistrar},
+			}
+		}
+		r, err := registrar.New(p, registrar.Deps{
+			Registries: eco.Registries, Net: eco.Net, Clock: eco.Clock.Day,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CreateAccount("c@x.net")
+		return r
+	}
+	good := mk(registrar.Policy{
+		ID: "good", Name: "Good", NSHosts: []string{"ns1.good.net"},
+		HostedDNSSEC: registrar.SupportDefault,
+	})
+	partial := mk(registrar.Policy{
+		ID: "partial", Name: "Partial", NSHosts: []string{"ns1.partial.net"},
+		HostedDNSSEC:  registrar.SupportDefault,
+		PublishDSTLDs: map[string]bool{"nl": true}, // signs, uploads DS only for .nl
+	})
+	plain := mk(registrar.Policy{
+		ID: "plain", Name: "Plain", NSHosts: []string{"ns1.plain.net"},
+	})
+	var domains []string
+	for _, d := range []struct {
+		r      *registrar.Registrar
+		domain string
+	}{
+		{good, "full1.com"}, {good, "full2.com"}, {good, "dutch.nl"},
+		{partial, "half1.com"}, {partial, "half2.com"},
+		{plain, "none1.com"}, {plain, "none2.com"}, {plain, "none3.com"},
+		{plain, "victim.com"},
+	} {
+		if err := d.r.Purchase("c@x.net", d.domain, ""); err != nil {
+			t.Fatalf("purchase %s: %v", d.domain, err)
+		}
+		domains = append(domains, d.domain)
+	}
+	// Break victim.com: an unsigned zone behind a garbage DS — what a
+	// registrar that accepts anything produces.
+	garbage := &dnswire.DS{KeyTag: 7, Algorithm: dnswire.AlgED25519, DigestType: dnswire.DigestSHA256, Digest: make([]byte, 32)}
+	if err := eco.Registries["com"].SetDS("plain", "victim.com", []*dnswire.DS{garbage}); err != nil {
+		t.Fatal(err)
+	}
+	// A never-registered domain should be skipped by the scanner.
+	domains = append(domains, "ghost.com")
+	return eco, scan.TargetsFromDomains(domains)
+}
+
+func newScanner(t *testing.T, eco *dnstest.Ecosystem, workers int) *scan.Scanner {
+	t.Helper()
+	s, err := scan.New(scan.Config{
+		Exchange: eco.Net,
+		TLDServers: map[string]string{
+			"com": dnstest.TLDServerAddr("com"),
+			"nl":  dnstest.TLDServerAddr("nl"),
+		},
+		Workers: workers,
+		Clock:   eco.Clock.Day,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScanClassifiesDeployments(t *testing.T) {
+	eco, targets := buildWorld(t)
+	s := newScanner(t, eco, 4)
+	snap, err := s.ScanDay(context.Background(), eco.Clock.Day(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Records) != 9 { // ghost.com skipped
+		t.Fatalf("records: %d", len(snap.Records))
+	}
+	byDomain := map[string]*dataset.Record{}
+	for i := range snap.Records {
+		byDomain[snap.Records[i].Domain] = &snap.Records[i]
+	}
+	cases := map[string]dnssec.Deployment{
+		"full1.com":  dnssec.DeploymentFull,
+		"full2.com":  dnssec.DeploymentFull,
+		"dutch.nl":   dnssec.DeploymentFull,
+		"half1.com":  dnssec.DeploymentPartial,
+		"half2.com":  dnssec.DeploymentPartial,
+		"none1.com":  dnssec.DeploymentNone,
+		"victim.com": dnssec.DeploymentBroken,
+	}
+	for domain, want := range cases {
+		rec, ok := byDomain[domain]
+		if !ok {
+			t.Errorf("%s missing from snapshot", domain)
+			continue
+		}
+		if got := rec.Deployment(); got != want {
+			t.Errorf("%s: %v, want %v", domain, got, want)
+		}
+	}
+	// Operator grouping from the NS observed at the TLD.
+	if byDomain["full1.com"].Operator != "good.net" {
+		t.Errorf("operator: %q", byDomain["full1.com"].Operator)
+	}
+	// RRSIG presence follows signing.
+	if !byDomain["half1.com"].HasRRSIG || byDomain["none1.com"].HasRRSIG {
+		t.Error("HasRRSIG wrong")
+	}
+	if s.Queries() == 0 {
+		t.Error("query counter not advanced")
+	}
+}
+
+func TestScanWorkerCountsAgree(t *testing.T) {
+	eco, targets := buildWorld(t)
+	base, err := newScanner(t, eco, 1).ScanDay(context.Background(), eco.Clock.Day(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := newScanner(t, eco, 16).ScanDay(context.Background(), eco.Clock.Day(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Records) != len(wide.Records) {
+		t.Errorf("worker counts disagree: %d vs %d", len(base.Records), len(wide.Records))
+	}
+	count := func(snap *dataset.Snapshot, d dnssec.Deployment) int {
+		n := 0
+		for i := range snap.Records {
+			if snap.Records[i].Deployment() == d {
+				n++
+			}
+		}
+		return n
+	}
+	for _, d := range []dnssec.Deployment{
+		dnssec.DeploymentNone, dnssec.DeploymentPartial,
+		dnssec.DeploymentFull, dnssec.DeploymentBroken,
+	} {
+		if count(base, d) != count(wide, d) {
+			t.Errorf("%v: %d vs %d", d, count(base, d), count(wide, d))
+		}
+	}
+}
+
+func TestScanContextCancel(t *testing.T) {
+	eco, targets := buildWorld(t)
+	s := newScanner(t, eco, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ScanDay(ctx, eco.Clock.Day(), targets); err == nil {
+		t.Error("cancelled scan reported success")
+	}
+}
+
+func TestScanConfigValidation(t *testing.T) {
+	if _, err := scan.New(scan.Config{}); err == nil {
+		t.Error("config without exchanger accepted")
+	}
+	eco, _ := buildWorld(t)
+	if _, err := scan.New(scan.Config{Exchange: eco.Net}); err == nil {
+		t.Error("config without TLD servers accepted")
+	}
+}
+
+func TestTargetsFromDomains(t *testing.T) {
+	ts := scan.TargetsFromDomains([]string{"A.COM", "b.nl", "justtld"})
+	if len(ts) != 3 {
+		t.Fatalf("targets: %v", ts)
+	}
+	if ts[0].Domain != "a.com" || ts[0].TLD != "com" {
+		t.Errorf("target 0: %+v", ts[0])
+	}
+	if ts[2].TLD != "" {
+		t.Errorf("single-label target: %+v", ts[2])
+	}
+}
+
+func TestTargetsFromZone(t *testing.T) {
+	eco, _ := buildWorld(t)
+	z := eco.Registries["com"].Zone()
+	targets := scan.TargetsFromZone(z)
+	// buildWorld registers 7 .com domains (full1/2, half1/2, none1/2/3,
+	// victim) = 8; dutch.nl is in the other registry.
+	if len(targets) != 8 {
+		t.Fatalf("targets: %d (%v)", len(targets), targets)
+	}
+	seen := map[string]bool{}
+	for _, tg := range targets {
+		if tg.TLD != "com" {
+			t.Errorf("target %s has TLD %q", tg.Domain, tg.TLD)
+		}
+		if seen[tg.Domain] {
+			t.Errorf("duplicate target %s", tg.Domain)
+		}
+		seen[tg.Domain] = true
+	}
+	if !seen["full1.com"] || !seen["victim.com"] {
+		t.Errorf("missing expected targets: %v", seen)
+	}
+}
+
+// TestAXFRDrivenScan reproduces the paper's actual pipeline head: obtain
+// the TLD zone file (AXFR under agreement), derive the target list from its
+// delegations, then sweep.
+func TestAXFRDrivenScan(t *testing.T) {
+	eco, _ := buildWorld(t)
+	auth := eco.Registries["com"].Server()
+	auth.EnableAXFR(func(origin string) bool { return origin == "com" })
+	srv := &dnsserver.Server{Handler: auth}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &dnsserver.AXFRClient{Timeout: 5 * time.Second}
+	z, err := client.Transfer(context.Background(), srv.Addr(), "com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := scan.TargetsFromZone(z)
+	if len(targets) != 8 {
+		t.Fatalf("targets from AXFR: %d", len(targets))
+	}
+	s := newScanner(t, eco, 4)
+	snap, err := s.ScanDay(context.Background(), eco.Clock.Day(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Records) != 8 {
+		t.Fatalf("scanned %d", len(snap.Records))
+	}
+	full := 0
+	for i := range snap.Records {
+		if snap.Records[i].Deployment() == dnssec.DeploymentFull {
+			full++
+		}
+	}
+	if full != 2 { // full1.com, full2.com (dutch.nl is outside .com)
+		t.Errorf("full count via AXFR-driven scan: %d", full)
+	}
+}

@@ -1,0 +1,252 @@
+package tldsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/registrar"
+	"securepki.org/registrarsec/internal/registry"
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// Materialized is a day of the simulated world turned into real, signed DNS
+// served on an in-memory network: a root zone, one signed TLD zone per TLD
+// with genuine NS/DS delegations, and one authoritative server per DNS
+// operator with genuinely signed (or unsigned, or mismatched) child zones.
+//
+// The scan engine runs against this exactly as it would against production
+// servers, which lets tests verify that the world model's aggregate counts
+// equal what live measurement observes.
+type Materialized struct {
+	Net        *dnsserver.MemNet
+	Anchor     []*dnswire.DS
+	TLDServers map[string]string
+	Day        simtime.Day
+}
+
+// Materialize builds real DNS state for the given domains as of day. Only
+// pass the domains you intend to scan — materialization does real key
+// generation and signing per signed domain.
+func Materialize(day simtime.Day, domains []DomainState) (*Materialized, error) {
+	now := day.Time()
+	expire := now.AddDate(2, 0, 0)
+	net := dnsserver.NewMemNet()
+	net.Strict = true
+	m := &Materialized{Net: net, TLDServers: make(map[string]string), Day: day}
+
+	newSigner := func() (*zone.Signer, error) {
+		s, err := zone.NewSigner(dnswire.AlgED25519, now)
+		if err != nil {
+			return nil, err
+		}
+		s.Expiration = expire
+		return s, nil
+	}
+
+	// Root and TLD skeletons.
+	rootZone := zone.New("")
+	rootZone.MustAdd(dnswire.NewRR("", 86400, &dnswire.SOA{
+		MName: "a.root-servers.net", RName: "nstld.verisign-grs.com",
+		Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+	}))
+	rootZone.MustAdd(dnswire.NewRR("", 86400, &dnswire.NS{Host: "a.root-servers.net"}))
+	rootSigner, err := newSigner()
+	if err != nil {
+		return nil, err
+	}
+
+	tldZones := make(map[string]*zone.Zone)
+	tldSigners := make(map[string]*zone.Signer)
+	tldOf := func(tld string) (*zone.Zone, *zone.Signer, error) {
+		if z, ok := tldZones[tld]; ok {
+			return z, tldSigners[tld], nil
+		}
+		ns := "ns1." + tld + "-registry.example"
+		z := zone.New(tld)
+		z.MustAdd(dnswire.NewRR(tld, 86400, &dnswire.SOA{
+			MName: ns, RName: "hostmaster." + ns,
+			Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 3600,
+		}))
+		z.MustAdd(dnswire.NewRR(tld, 86400, &dnswire.NS{Host: ns}))
+		signer, err := newSigner()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := signer.Sign(z); err != nil {
+			return nil, nil, err
+		}
+		tldZones[tld], tldSigners[tld] = z, signer
+		srv := dnsserver.NewAuthoritative()
+		srv.AddZone(z)
+		net.Register(ns, srv)
+		m.TLDServers[tld] = ns
+		// Delegate in the root.
+		rootZone.MustAdd(dnswire.NewRR(tld, 86400, &dnswire.NS{Host: ns}))
+		dss, err := signer.DSRecords(tld, dnswire.DigestSHA256)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, ds := range dss {
+			rootZone.MustAdd(dnswire.NewRR(tld, 86400, ds))
+		}
+		return z, signer, nil
+	}
+
+	operatorSrvs := make(map[string]*dnsserver.Authoritative)
+	opSrv := func(host string) *dnsserver.Authoritative {
+		if srv, ok := operatorSrvs[host]; ok {
+			return srv
+		}
+		srv := dnsserver.NewAuthoritative()
+		operatorSrvs[host] = srv
+		net.Register(host, srv)
+		return srv
+	}
+
+	for i := range domains {
+		d := &domains[i]
+		tz, tsigner, err := tldOf(d.TLD)
+		if err != nil {
+			return nil, err
+		}
+		nsHost := nsFor(d.Operator)
+		child := zone.New(d.Name)
+		child.MustAdd(dnswire.NewRR(d.Name, 3600, &dnswire.SOA{
+			MName: nsHost, RName: "hostmaster." + d.Name,
+			Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+		}))
+		child.MustAdd(dnswire.NewRR(d.Name, 3600, &dnswire.NS{Host: nsHost}))
+		child.MustAdd(dnswire.NewRR("www."+d.Name, 300, &dnswire.A{Addr: netip.MustParseAddr("203.0.113.80")}))
+
+		hasKey := d.KeyDay <= day
+		hasDS := d.DSDay <= day
+		var childSigner *zone.Signer
+		if hasKey {
+			if childSigner, err = newSigner(); err != nil {
+				return nil, err
+			}
+			if d.ExpiredSig {
+				// The operator let its signatures lapse: the served RRSIGs
+				// ended a month before the measurement day.
+				childSigner.Inception = now.AddDate(0, -3, 0)
+				childSigner.Expiration = now.AddDate(0, -1, 0)
+			}
+			if err := childSigner.Sign(child); err != nil {
+				return nil, err
+			}
+		}
+		tz.MustAdd(dnswire.NewRR(d.Name, 86400, &dnswire.NS{Host: nsHost}))
+		if hasDS {
+			var ds []*dnswire.DS
+			if d.BrokenDS || childSigner == nil {
+				// A DS that matches nothing served: either the registrar
+				// accepted garbage, or the zone was unsigned behind it.
+				digest := make([]byte, 32)
+				rand.New(rand.NewSource(int64(i))).Read(digest)
+				ds = []*dnswire.DS{{
+					KeyTag: uint16(i + 1), Algorithm: dnswire.AlgED25519,
+					DigestType: dnswire.DigestSHA256, Digest: digest,
+				}}
+			} else {
+				if ds, err = childSigner.DSRecords(d.Name, dnswire.DigestSHA256); err != nil {
+					return nil, err
+				}
+			}
+			for _, rec := range ds {
+				tz.MustAdd(dnswire.NewRR(d.Name, 86400, rec))
+			}
+			if err := tsigner.SignSet(tz, d.Name, dnswire.TypeDS); err != nil {
+				return nil, err
+			}
+		}
+		opSrv(nsHost).AddZone(child)
+	}
+
+	if err := rootSigner.Sign(rootZone); err != nil {
+		return nil, err
+	}
+	rootSrv := dnsserver.NewAuthoritative()
+	rootSrv.AddZone(rootZone)
+	net.Register("a.root-servers.net", rootSrv)
+	anchor, err := rootSigner.DSRecords("", dnswire.DigestSHA256)
+	if err != nil {
+		return nil, err
+	}
+	m.Anchor = anchor
+	return m, nil
+}
+
+// Sample picks n domains deterministically (seeded) from the world for
+// materialized verification scans, preserving class diversity by simple
+// uniform sampling over the full population.
+func (w *World) Sample(n int, seed int64) []DomainState {
+	if n >= len(w.Domains) {
+		return append([]DomainState(nil), w.Domains...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(w.Domains))[:n]
+	out := make([]DomainState, 0, n)
+	for _, i := range idx {
+		out = append(out, w.Domains[i])
+	}
+	return out
+}
+
+// BuildAgents constructs live registrar agents for the whole catalogue on
+// top of an existing registry substrate, wiring reseller partnerships. It
+// returns the agents keyed by policy ID together with the probe-ordered
+// lists for Tables 2 and 3.
+func BuildAgents(registries map[string]*registry.Registry, net *dnsserver.MemNet, clock func() simtime.Day) (byID map[string]*registrar.Registrar, top20, top10 []*registrar.Registrar, err error) {
+	specs := RegistrarSpecs()
+	byID = make(map[string]*registrar.Registrar, len(specs))
+	for _, spec := range specs {
+		p := spec.Policy
+		// Only wire roles for TLDs the substrate actually has.
+		roles := make(map[string]registrar.Role, len(p.Roles))
+		for tld, role := range p.Roles {
+			if role.Kind == registrar.RoleRegistrar {
+				if _, ok := registries[tld]; !ok {
+					continue
+				}
+			}
+			roles[tld] = role
+		}
+		p.Roles = roles
+		agent, aerr := registrar.New(p, registrar.Deps{
+			Registries: registries,
+			Net:        net,
+			Clock:      clock,
+			Rng:        rand.New(rand.NewSource(int64(len(p.ID)) * 2654435761)),
+		})
+		if aerr != nil {
+			return nil, nil, nil, fmt.Errorf("tldsim: building %s: %w", p.Name, aerr)
+		}
+		byID[p.ID] = agent
+	}
+	// Partner wiring pass.
+	for _, spec := range specs {
+		agent := byID[spec.Policy.ID]
+		for tld, role := range spec.Policy.Roles {
+			if role.Kind == registrar.RoleReseller {
+				partner, ok := byID[role.Partner]
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("tldsim: %s names unknown partner %s", spec.Policy.ID, role.Partner)
+				}
+				agent.SetPartner(tld, partner)
+			}
+		}
+	}
+	for _, spec := range specs {
+		if spec.Top20 {
+			top20 = append(top20, byID[spec.Policy.ID])
+		}
+		if spec.Top10DNSSEC {
+			top10 = append(top10, byID[spec.Policy.ID])
+		}
+	}
+	return byID, top20, top10, nil
+}

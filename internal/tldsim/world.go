@@ -1,0 +1,393 @@
+package tldsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// WorldConfig parameterizes world generation.
+type WorldConfig struct {
+	// Scale multiplies every population (default 1/1000 — .com becomes
+	// ~118k domains instead of 118M). Percentages are scale-invariant.
+	Scale float64
+	// Seed drives all sampling; same seed → same world.
+	Seed int64
+	// TailOperators is the number of anonymous tail operators per TLD
+	// (defaults chosen so the total operator count is ~10^4, matching the
+	// x-axis of Figure 3).
+	TailOperators map[string]int
+	// WindowStart/WindowEnd bound the measurement (defaults: the paper's).
+	WindowStart, WindowEnd simtime.Day
+}
+
+func (c *WorldConfig) fill() {
+	if c.Scale == 0 {
+		c.Scale = 1.0 / 1000
+	}
+	if c.WindowStart == 0 {
+		c.WindowStart = simtime.GTLDStart
+	}
+	if c.WindowEnd == 0 {
+		c.WindowEnd = simtime.End
+	}
+	if c.TailOperators == nil {
+		c.TailOperators = map[string]int{
+			"com": 6000, "net": 1300, "org": 1100, "nl": 1000, "se": 600,
+		}
+	}
+}
+
+// DomainState is one simulated domain's full history, from which any day's
+// DNS state follows.
+type DomainState struct {
+	Name      string
+	TLD       string
+	Operator  string
+	Registrar string
+	// Created is the registration day (may precede the window).
+	Created simtime.Day
+	// KeyDay is when DNSKEYs first appear (simtime.Never if never).
+	KeyDay simtime.Day
+	// DSDay is when the DS reaches the registry (simtime.Never if never).
+	DSDay simtime.Day
+	// BrokenDS marks a DS that matches no served key.
+	BrokenDS bool
+	// ExpiredSig marks a zone whose RRSIGs are past their validity window.
+	ExpiredSig bool
+}
+
+// RecordAt projects the domain onto one measurement day.
+func (d *DomainState) RecordAt(day simtime.Day) dataset.Record {
+	hasKey := d.KeyDay <= day
+	hasDS := d.DSDay <= day
+	return dataset.Record{
+		Domain:     d.Name,
+		TLD:        d.TLD,
+		NSHosts:    []string{nsFor(d.Operator)},
+		Operator:   d.Operator,
+		HasDNSKEY:  hasKey,
+		HasRRSIG:   hasKey,
+		HasDS:      hasDS,
+		ChainValid: hasKey && hasDS && !d.BrokenDS && !d.ExpiredSig,
+	}
+}
+
+// World is a generated ecosystem population.
+type World struct {
+	Config  WorldConfig
+	Domains []DomainState
+	// Cohorts are the resolved (scaled) cohorts, named then tail.
+	Cohorts []Cohort
+}
+
+// tailDSByTLD encodes how the anonymous tail handles DS records: gTLD tail
+// operators upload DS for under half of their signed domains (the paper
+// finds ~30% of DNSKEY domains lack DS, concentrated in a few operators,
+// plus pervasive non-validation); .nl/.se tails are incentive-audited and
+// mostly complete.
+var tailDSByTLD = map[string]DSSpec{
+	"com": {Mode: DSWithKey, Prob: 0.62, BrokenFrac: 0.05},
+	"net": {Mode: DSWithKey, Prob: 0.62, BrokenFrac: 0.05},
+	"org": {Mode: DSWithKey, Prob: 0.62, BrokenFrac: 0.05},
+	"nl":  {Mode: DSWithKey, Prob: 0.95, BrokenFrac: 0.015},
+	"se":  {Mode: DSWithKey, Prob: 0.94, BrokenFrac: 0.015},
+}
+
+// Build generates the world: named cohorts from the catalogue plus a
+// power-law tail per TLD calibrated so each TLD hits its Table 1 size and
+// DNSKEY percentage.
+func Build(cfg WorldConfig) (*World, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{Config: cfg}
+
+	named := NamedCohorts()
+	// Scale the named cohorts and account per-TLD totals.
+	namedDomains := make(map[string]int)    // tld -> scaled named population
+	namedKeyEnd := make(map[string]float64) // tld -> expected DNSKEY count at window end
+	var cohorts []Cohort
+	for _, c := range named {
+		c.Domains = int(math.Round(float64(c.Domains) * cfg.Scale))
+		if c.Domains == 0 {
+			continue
+		}
+		namedDomains[c.TLD] += c.Domains
+		namedKeyEnd[c.TLD] += float64(c.Domains) * c.Key.EndFrac
+		cohorts = append(cohorts, c)
+	}
+
+	// Tail per TLD: fill the population gap with power-law-sized anonymous
+	// operators whose DNSKEY fraction closes the gap to the Table 1
+	// percentage.
+	for _, tld := range AllTLDs {
+		total := int(math.Round(float64(TLDTotals[tld]) * cfg.Scale))
+		tailTotal := total - namedDomains[tld]
+		if tailTotal <= 0 {
+			return nil, fmt.Errorf("tldsim: named cohorts exceed .%s population (%d > %d)", tld, namedDomains[tld], total)
+		}
+		targetKey := float64(total) * TLDKeyPct[tld] / 100
+		tailKeyFrac := (targetKey - namedKeyEnd[tld]) / float64(tailTotal)
+		if tailKeyFrac < 0 {
+			tailKeyFrac = 0
+		}
+		if tailKeyFrac > 1 {
+			tailKeyFrac = 1
+		}
+		sizes := powerLawSizes(cfg.TailOperators[tld], tailTotal)
+		ds := tailDSByTLD[tld]
+		for i, size := range sizes {
+			if size == 0 {
+				continue
+			}
+			cohorts = append(cohorts, Cohort{
+				Operator: fmt.Sprintf("tail%04d.%s-hosting.example", i, tld),
+				TLD:      tld,
+				Domains:  size,
+				// Tail adoption grows modestly across the window (the
+				// paper: "rare ... but growing").
+				Key: Linear(tailKeyFrac*0.8, tailKeyFrac),
+				DS:  ds,
+				// Small self-hosted operators let signatures lapse.
+				ExpiredSigFrac: 0.03,
+			})
+		}
+	}
+	w.sampleCohorts(rng, cohorts)
+	return w, nil
+}
+
+// BuildCustom generates a world from an explicit cohort list (no named
+// catalogue, no tail) — for ablations and focused experiments.
+func BuildCustom(cfg WorldConfig, cohorts []Cohort) (*World, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{Config: cfg}
+	scaled := make([]Cohort, 0, len(cohorts))
+	for _, c := range cohorts {
+		c.Domains = int(math.Round(float64(c.Domains) * cfg.Scale))
+		if c.Domains > 0 {
+			scaled = append(scaled, c)
+		}
+	}
+	w.sampleCohorts(rng, scaled)
+	return w, nil
+}
+
+// sampleCohorts draws every domain's history from its cohort profile.
+func (w *World) sampleCohorts(rng *rand.Rand, cohorts []Cohort) {
+	cfg := w.Config
+	w.Cohorts = cohorts
+	for ci := range cohorts {
+		c := &cohorts[ci]
+		for i := 0; i < c.Domains; i++ {
+			// Registrations spread over the three years before the window
+			// end; most predate the window start.
+			created := simtime.Day(rng.Intn(int(cfg.WindowStart)+700)) - 700
+			keyDay := c.Key.sampleKeyDay(rng, created, cfg.WindowStart, cfg.WindowEnd)
+			dsDay, broken := c.DS.sampleDS(rng, keyDay, created)
+			expired := keyDay != simtime.Never && c.ExpiredSigFrac > 0 &&
+				rng.Float64() < c.ExpiredSigFrac
+			w.Domains = append(w.Domains, DomainState{
+				Name:       fmt.Sprintf("d%07d-%s.%s", len(w.Domains), slug(c.Operator), c.TLD),
+				TLD:        c.TLD,
+				Operator:   c.Operator,
+				Registrar:  c.Registrar,
+				Created:    created,
+				KeyDay:     keyDay,
+				DSDay:      dsDay,
+				BrokenDS:   broken,
+				ExpiredSig: expired,
+			})
+		}
+	}
+}
+
+// slug shortens an operator name into a domain-label-safe fragment.
+func slug(operator string) string {
+	out := make([]byte, 0, 12)
+	for i := 0; i < len(operator) && len(out) < 12; i++ {
+		ch := operator[i]
+		if ch >= 'a' && ch <= 'z' || ch >= '0' && ch <= '9' {
+			out = append(out, ch)
+		}
+	}
+	return string(out)
+}
+
+// powerLawSizes distributes total domains over k operators with a power-law
+// profile (exponent solved so the largest operator stays moderate), largest
+// first. The distribution shape drives the long tail of Figure 3.
+func powerLawSizes(k, total int) []int {
+	if k <= 0 {
+		k = 1
+	}
+	if k > total {
+		k = total
+	}
+	// Find s such that sizes c*i^-s sum to the total with a head size of
+	// about total/20 (keeps tail operators below the named ones).
+	head := float64(total) / 20
+	if head < 1 {
+		head = 1
+	}
+	s := solveExponent(k, float64(total)/head)
+	weights := make([]float64, k)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -s)
+		sum += weights[i]
+	}
+	sizes := make([]int, k)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(total) * weights[i] / sum)
+		assigned += sizes[i]
+	}
+	// Distribute the rounding remainder over the smallest operators so
+	// everyone has at least one domain where possible.
+	for i := 0; assigned < total; i = (i + 1) % k {
+		sizes[k-1-i]++
+		assigned++
+	}
+	return sizes
+}
+
+// solveExponent finds s with sum(i^-s)/1^-s == ratio via bisection: the
+// ratio of total mass to head mass determines the tail flatness.
+func solveExponent(k int, ratio float64) float64 {
+	lo, hi := 0.0, 3.0
+	f := func(s float64) float64 {
+		sum := 0.0
+		for i := 1; i <= k; i++ {
+			sum += math.Pow(float64(i), -s)
+		}
+		return sum
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if f(mid) > ratio {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SnapshotAt projects the whole world onto one day.
+func (w *World) SnapshotAt(day simtime.Day) *dataset.Snapshot {
+	snap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(w.Domains))}
+	for i := range w.Domains {
+		snap.Records = append(snap.Records, w.Domains[i].RecordAt(day))
+	}
+	return snap
+}
+
+// SeriesFor computes a daily deployment series for one operator (all its
+// TLDs when tld == "", one otherwise) without materializing snapshots:
+// key/DS days are sorted once and each day is two binary searches.
+func (w *World) SeriesFor(operator, tld string, from, to simtime.Day, stepDays int) []analysis.SeriesPoint {
+	if stepDays <= 0 {
+		stepDays = 1
+	}
+	var keyDays, dsDays, fullDays []simtime.Day
+	total := 0
+	for i := range w.Domains {
+		d := &w.Domains[i]
+		if d.Operator != operator || (tld != "" && d.TLD != tld) {
+			continue
+		}
+		total++
+		if d.KeyDay != simtime.Never {
+			keyDays = append(keyDays, d.KeyDay)
+		}
+		if d.DSDay != simtime.Never {
+			dsDays = append(dsDays, d.DSDay)
+			if !d.BrokenDS && !d.ExpiredSig {
+				// Full deployment begins when both halves are in place.
+				full := d.DSDay
+				if d.KeyDay > full {
+					full = d.KeyDay
+				}
+				fullDays = append(fullDays, full)
+			}
+		}
+	}
+	for _, s := range [][]simtime.Day{keyDays, dsDays, fullDays} {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	countLE := func(s []simtime.Day, day simtime.Day) int {
+		return sort.Search(len(s), func(i int) bool { return s[i] > day })
+	}
+	var out []analysis.SeriesPoint
+	for day := from; day <= to; day += simtime.Day(stepDays) {
+		out = append(out, analysis.SeriesPoint{
+			Day:        day,
+			Total:      total,
+			WithDNSKEY: countLE(keyDays, day),
+			WithDS:     countLE(dsDays, day),
+			Full:       countLE(fullDays, day),
+		})
+	}
+	return out
+}
+
+// OperatorsOf lists the operators a named registrar runs (from the named
+// cohorts), for joining probe output with measurement series.
+func OperatorsOf(registrarName string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range NamedCohorts() {
+		if c.Registrar == registrarName && !seen[c.Operator] {
+			seen[c.Operator] = true
+			out = append(out, c.Operator)
+		}
+	}
+	return out
+}
+
+// DomainsByRegistrar tallies scaled population per named registrar in the
+// given TLDs (for the Table 2 "Domains" column).
+func (w *World) DomainsByRegistrar(tlds ...string) map[string]int {
+	want := map[string]bool{}
+	for _, t := range tlds {
+		want[t] = true
+	}
+	out := map[string]int{}
+	for i := range w.Domains {
+		d := &w.Domains[i]
+		if d.Registrar == "" {
+			continue
+		}
+		if len(want) == 0 || want[d.TLD] {
+			out[d.Registrar]++
+		}
+	}
+	return out
+}
+
+// DNSKEYDomainsByRegistrar tallies DNSKEY-publishing domains per named
+// registrar at the given day (for the Table 3 column).
+func (w *World) DNSKEYDomainsByRegistrar(day simtime.Day, tlds ...string) map[string]int {
+	want := map[string]bool{}
+	for _, t := range tlds {
+		want[t] = true
+	}
+	out := map[string]int{}
+	for i := range w.Domains {
+		d := &w.Domains[i]
+		if d.Registrar == "" || d.KeyDay > day {
+			continue
+		}
+		if len(want) == 0 || want[d.TLD] {
+			out[d.Registrar]++
+		}
+	}
+	return out
+}

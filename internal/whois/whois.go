@@ -1,0 +1,151 @@
+// Package whois models the WHOIS ecosystem the paper deliberately avoids
+// (section 4.2): per-registrar servers with inconsistent schemas, heavy
+// rate limiting, and reseller records served by the partner registrar —
+// which would conflate reseller and registrar behaviour. A best-effort
+// parser demonstrates why NS-based operator grouping is the sounder
+// methodology; the grouping-rule ablation benchmark quantifies it.
+package whois
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by lookups.
+var (
+	ErrRateLimited = errors.New("whois: query rate exceeded")
+	ErrNoRecord    = errors.New("whois: no match for domain")
+)
+
+// Record is the ground truth behind a WHOIS entry.
+type Record struct {
+	Domain    string
+	Registrar string
+	// Reseller, when set, is hidden by schemas that report only the
+	// accredited partner — the conflation the paper warns about.
+	Reseller    string
+	NameServers []string
+}
+
+// Schema renders a record in one registrar's house format.
+type Schema func(Record) string
+
+// Schemas used in the wild vary wildly; three representative ones.
+var Schemas = []Schema{
+	// ICANN-ish key: value.
+	func(r Record) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "Domain Name: %s\n", strings.ToUpper(r.Domain))
+		fmt.Fprintf(&sb, "Registrar: %s\n", r.Registrar)
+		for _, ns := range r.NameServers {
+			fmt.Fprintf(&sb, "Name Server: %s\n", strings.ToUpper(ns))
+		}
+		return sb.String()
+	},
+	// Terse European style with different labels.
+	func(r Record) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "domain:   %s\n", r.Domain)
+		fmt.Fprintf(&sb, "registrar:%s\n", r.Registrar)
+		for _, ns := range r.NameServers {
+			fmt.Fprintf(&sb, "nserver:  %s\n", ns)
+		}
+		return sb.String()
+	},
+	// Free-prose style that defeats naive parsers.
+	func(r Record) string {
+		return fmt.Sprintf("%s is registered through %s.\nDNS is handled by %s.\n",
+			r.Domain, r.Registrar, strings.Join(r.NameServers, " and "))
+	},
+}
+
+// Server is one registrar's WHOIS endpoint with a token-bucket rate limit.
+type Server struct {
+	schema Schema
+
+	mu      sync.Mutex
+	records map[string]Record
+	tokens  float64
+	rate    float64 // tokens per second
+	burst   float64
+	last    time.Time
+	now     func() time.Time
+}
+
+// NewServer creates a WHOIS server using the given schema index and a
+// queries-per-second limit.
+func NewServer(schemaIdx int, qps float64, now func() time.Time) *Server {
+	if now == nil {
+		now = time.Now
+	}
+	return &Server{
+		schema:  Schemas[schemaIdx%len(Schemas)],
+		records: make(map[string]Record),
+		rate:    qps,
+		burst:   qps * 2,
+		tokens:  qps * 2,
+		now:     now,
+	}
+}
+
+// Add registers a record.
+func (s *Server) Add(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[strings.ToLower(r.Domain)] = r
+}
+
+// Query returns the rendered WHOIS text for a domain, enforcing the rate
+// limit the paper complains about.
+func (s *Server) Query(domain string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	if !s.last.IsZero() {
+		s.tokens += now.Sub(s.last).Seconds() * s.rate
+		if s.tokens > s.burst {
+			s.tokens = s.burst
+		}
+	}
+	s.last = now
+	if s.tokens < 1 {
+		return "", ErrRateLimited
+	}
+	s.tokens--
+	r, ok := s.records[strings.ToLower(domain)]
+	if !ok {
+		return "", ErrNoRecord
+	}
+	return s.schema(r), nil
+}
+
+// Parsed is the best-effort extraction from WHOIS text.
+type Parsed struct {
+	Registrar   string
+	NameServers []string
+}
+
+// Parse extracts registrar and nameservers from arbitrary WHOIS output. It
+// understands the common labelled formats; prose formats defeat it (by
+// design — that is the measurement point).
+func Parse(text string) (*Parsed, error) {
+	p := &Parsed{}
+	for _, line := range strings.Split(text, "\n") {
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "registrar:"):
+			p.Registrar = strings.TrimSpace(line[len("registrar:"):])
+		case strings.HasPrefix(lower, "name server:"):
+			p.NameServers = append(p.NameServers, strings.ToLower(strings.TrimSpace(line[len("name server:"):])))
+		case strings.HasPrefix(lower, "nserver:"):
+			p.NameServers = append(p.NameServers, strings.ToLower(strings.TrimSpace(line[len("nserver:"):])))
+		}
+	}
+	if p.Registrar == "" && len(p.NameServers) == 0 {
+		return nil, fmt.Errorf("whois: unparseable record")
+	}
+	return p, nil
+}

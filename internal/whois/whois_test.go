@@ -1,0 +1,86 @@
+package whois
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Domain:      "example.com",
+		Registrar:   "BigPartner Inc",
+		Reseller:    "SmallShop",
+		NameServers: []string{"ns1.small.net", "ns2.small.net"},
+	}
+}
+
+func TestSchemasRender(t *testing.T) {
+	for i := range Schemas {
+		text := Schemas[i](sampleRecord())
+		if text == "" {
+			t.Errorf("schema %d produced nothing", i)
+		}
+	}
+}
+
+func TestParseLabelledSchemas(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		text := Schemas[i](sampleRecord())
+		p, err := Parse(text)
+		if err != nil {
+			t.Fatalf("schema %d: %v", i, err)
+		}
+		if p.Registrar != "BigPartner Inc" {
+			t.Errorf("schema %d registrar: %q", i, p.Registrar)
+		}
+		if len(p.NameServers) != 2 || p.NameServers[0] != "ns1.small.net" {
+			t.Errorf("schema %d nameservers: %v", i, p.NameServers)
+		}
+	}
+}
+
+func TestParseProseSchemaFails(t *testing.T) {
+	text := Schemas[2](sampleRecord())
+	if _, err := Parse(text); err == nil {
+		t.Error("prose schema parsed — the methodology point is that it should not")
+	}
+}
+
+func TestWHOISConflatesResellers(t *testing.T) {
+	// The WHOIS registrar field names the accredited partner, hiding the
+	// reseller — while the NS records reveal the actual DNS operator.
+	p, err := Parse(Schemas[0](sampleRecord()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Registrar == "SmallShop" {
+		t.Error("WHOIS exposed the reseller; expected conflation")
+	}
+	if p.NameServers[0] != "ns1.small.net" {
+		t.Error("NS-based grouping lost the operator")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	s := NewServer(0, 1, now) // 1 qps, burst 2
+	s.Add(sampleRecord())
+	for i := 0; i < 2; i++ {
+		if _, err := s.Query("example.com"); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if _, err := s.Query("example.com"); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("burst exceeded: %v", err)
+	}
+	// Tokens refill with time.
+	clock = clock.Add(3 * time.Second)
+	if _, err := s.Query("example.com"); err != nil {
+		t.Errorf("after refill: %v", err)
+	}
+	if _, err := s.Query("ghost.com"); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("missing record: %v", err)
+	}
+}

@@ -1,0 +1,190 @@
+package zone
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+const sampleZoneFile = `
+$ORIGIN example.com.
+$TTL 3600
+@   IN  SOA ns1 hostmaster (
+        2016123101 ; serial
+        7200       ; refresh
+        3600       ; retry
+        1209600    ; expire
+        300 )      ; minimum
+    IN  NS  ns1
+    IN  NS  ns2.example.net.
+ns1     A     192.0.2.1
+www 600 IN A  192.0.2.80
+www     AAAA  2001:db8::80
+mail    MX    10 mx1
+txt     TXT   "hello world" "second string"
+alias   CNAME www
+sub     NS    ns1.sub
+ns1.sub A     192.0.2.53
+`
+
+func TestParseZoneFile(t *testing.T) {
+	z, err := Parse(strings.NewReader(sampleZoneFile), "example.com")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if z.Origin != "example.com" {
+		t.Errorf("origin %q", z.Origin)
+	}
+	soa := z.SOA()
+	if soa == nil {
+		t.Fatal("SOA not parsed")
+	}
+	s := soa.Data.(*dnswire.SOA)
+	if s.Serial != 2016123101 || s.Minimum != 300 || s.MName != "ns1.example.com" {
+		t.Errorf("SOA fields: %+v", s)
+	}
+	ns := z.Lookup("example.com", dnswire.TypeNS)
+	if len(ns) != 2 {
+		t.Fatalf("NS count %d", len(ns))
+	}
+	// Relative vs absolute names.
+	hosts := map[string]bool{}
+	for _, rr := range ns {
+		hosts[rr.Data.(*dnswire.NS).Host] = true
+	}
+	if !hosts["ns1.example.com"] || !hosts["ns2.example.net"] {
+		t.Errorf("NS hosts: %v", hosts)
+	}
+	// Explicit TTL.
+	www := z.Lookup("www.example.com", dnswire.TypeA)
+	if len(www) != 1 || www[0].TTL != 600 {
+		t.Errorf("www A: %v", www)
+	}
+	// Default TTL applies.
+	if rr := z.Lookup("ns1.example.com", dnswire.TypeA); len(rr) != 1 || rr[0].TTL != 3600 {
+		t.Errorf("ns1 A TTL: %v", rr)
+	}
+	txt := z.Lookup("txt.example.com", dnswire.TypeTXT)
+	if len(txt) != 1 {
+		t.Fatal("TXT missing")
+	}
+	got := txt[0].Data.(*dnswire.TXT).Strings
+	if len(got) != 2 || got[0] != "hello world" || got[1] != "second string" {
+		t.Errorf("TXT strings: %q", got)
+	}
+	if cn := z.Lookup("alias.example.com", dnswire.TypeCNAME); len(cn) != 1 ||
+		cn[0].Data.(*dnswire.CNAME).Target != "www.example.com" {
+		t.Error("CNAME not parsed")
+	}
+	if mx := z.Lookup("mail.example.com", dnswire.TypeMX); len(mx) != 1 ||
+		mx[0].Data.(*dnswire.MX).Pref != 10 {
+		t.Error("MX not parsed")
+	}
+}
+
+func TestParseSerializeRoundTrip(t *testing.T) {
+	z, err := Parse(strings.NewReader(sampleZoneFile), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sign it so the round trip covers DNSSEC presentation formats too.
+	s := newTestSigner(t)
+	s.AddNSEC = true
+	if err := s.Sign(z); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PublishCDS(z, dnswire.DigestSHA256); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := z.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Parse(bytes.NewReader(buf.Bytes()), "")
+	if err != nil {
+		t.Fatalf("reparse: %v\nzone file:\n%s", err, buf.String())
+	}
+	if z2.Origin != z.Origin {
+		t.Errorf("origin %q vs %q", z2.Origin, z.Origin)
+	}
+	if z2.Len() != z.Len() {
+		t.Errorf("record count %d vs %d", z2.Len(), z.Len())
+	}
+	// Deterministic output: serializing again must be byte-identical.
+	var buf2 bytes.Buffer
+	if _, err := z2.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("serialization is not deterministic across a parse round trip")
+	}
+}
+
+func TestParseTTLUnits(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+	}{
+		{"300", 300}, {"1h", 3600}, {"1h30m", 5400}, {"2d", 172800}, {"1w", 604800},
+	}
+	for _, c := range cases {
+		got, err := parseTTL(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseTTL(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "h", "5x", "12h7"} {
+		if _, err := parseTTL(bad); err == nil {
+			t.Errorf("parseTTL(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"unknown type", "@ IN WTF data\n"},
+		{"bad A", "@ IN A not-an-ip\n"},
+		{"bad AAAA", "@ IN AAAA 192.0.2.1\n"},
+		{"unbalanced paren", "@ IN SOA a b ( 1 2 3 4 5\n"},
+		{"stray close paren", "@ IN A ) 192.0.2.1\n"},
+		{"unterminated quote", "@ IN TXT \"oops\n"},
+		{"missing rdata", "@ IN MX 10\n"},
+		{"bad DS hex", "@ IN DS 1 8 2 zz\n"},
+		{"bad DNSKEY b64", "@ IN DNSKEY 256 3 8 !!!\n"},
+		{"orphan origin", "$ORIGIN\n"},
+		{"bad ttl directive", "$TTL abc\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.body), "example.com"); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseCommentInsideQuotes(t *testing.T) {
+	z, err := Parse(strings.NewReader("t IN TXT \"a;b\" ; real comment\n"), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := z.Lookup("t.example.com", dnswire.TypeTXT)
+	if len(txt) != 1 || txt[0].Data.(*dnswire.TXT).Strings[0] != "a;b" {
+		t.Errorf("quoted semicolon mangled: %v", txt)
+	}
+}
+
+func TestParseGenericRFC3597(t *testing.T) {
+	z, err := Parse(strings.NewReader("g IN TYPE999 \\# 3 010203\n"), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := z.Lookup("g.example.com", dnswire.Type(999))
+	if len(rr) != 1 {
+		t.Fatal("generic record missing")
+	}
+	g := rr[0].Data.(*dnswire.Generic)
+	if len(g.Data) != 3 || g.Data[0] != 1 {
+		t.Errorf("generic data: %v", g.Data)
+	}
+}

@@ -1,0 +1,291 @@
+// Package zone provides an authoritative zone data model, DNSSEC zone
+// signing with a KSK/ZSK split, and a master-file (RFC 1035 section 5)
+// parser and serializer.
+//
+// A Zone holds the RRsets of one DNS zone, understands delegation cuts
+// (child NS records plus optional DS and glue), and can answer the lookup
+// queries an authoritative server needs: exact RRset match, delegation
+// search and existence checks.
+package zone
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// rrKey identifies one RRset within a zone.
+type rrKey struct {
+	name string
+	typ  dnswire.Type
+}
+
+// Zone is a mutable collection of RRsets rooted at Origin. It is safe for
+// concurrent use; the simulation mutates zones (registrars enabling DNSSEC,
+// owners switching nameservers) while the scanner reads them.
+type Zone struct {
+	// Origin is the canonical apex name of the zone.
+	Origin string
+	// DefaultTTL is applied by the parser when no TTL is given.
+	DefaultTTL uint32
+
+	mu   sync.RWMutex
+	sets map[rrKey][]*dnswire.RR
+}
+
+// New creates an empty zone for the given origin.
+func New(origin string) *Zone {
+	return &Zone{
+		Origin:     dnswire.CanonicalName(origin),
+		DefaultTTL: 3600,
+		sets:       make(map[rrKey][]*dnswire.RR),
+	}
+}
+
+// Add inserts a record. Records outside the zone's bailiwick are rejected.
+// Exact duplicates (same name, type and RDATA) are silently collapsed.
+func (z *Zone) Add(rr *dnswire.RR) error {
+	if !dnswire.IsSubdomain(rr.Name, z.Origin) {
+		return fmt.Errorf("zone %s: record %s out of bailiwick", present(z.Origin), rr.Name)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	k := rrKey{rr.Name, rr.Type}
+	wire, err := rr.CanonicalWire()
+	if err != nil {
+		return err
+	}
+	for _, have := range z.sets[k] {
+		hw, _ := have.CanonicalWire()
+		if string(hw) == string(wire) {
+			return nil
+		}
+	}
+	z.sets[k] = append(z.sets[k], rr)
+	return nil
+}
+
+// MustAdd is Add for construction paths where records are known-valid.
+func (z *Zone) MustAdd(rr *dnswire.RR) {
+	if err := z.Add(rr); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes the whole RRset at (name, type).
+func (z *Zone) Remove(name string, t dnswire.Type) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	delete(z.sets, rrKey{dnswire.CanonicalName(name), t})
+}
+
+// RemoveName deletes every RRset owned by name.
+func (z *Zone) RemoveName(name string) {
+	name = dnswire.CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	for k := range z.sets {
+		if k.name == name {
+			delete(z.sets, k)
+		}
+	}
+}
+
+// RemoveSigs deletes the RRSIGs at name that cover type t, leaving other
+// signatures at the same owner untouched.
+func (z *Zone) RemoveSigs(name string, t dnswire.Type) {
+	name = dnswire.CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	k := rrKey{name, dnswire.TypeRRSIG}
+	set := z.sets[k]
+	kept := set[:0]
+	for _, rr := range set {
+		if sig, ok := rr.Data.(*dnswire.RRSIG); ok && sig.TypeCovered == t {
+			continue
+		}
+		kept = append(kept, rr)
+	}
+	if len(kept) == 0 {
+		delete(z.sets, k)
+	} else {
+		z.sets[k] = kept
+	}
+}
+
+// RemoveType deletes every RRset of the given type anywhere in the zone
+// (used to strip RRSIG/NSEC before re-signing).
+func (z *Zone) RemoveType(t dnswire.Type) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	for k := range z.sets {
+		if k.typ == t {
+			delete(z.sets, k)
+		}
+	}
+}
+
+// Lookup returns a copy of the RRset at (name, type), nil if absent.
+func (z *Zone) Lookup(name string, t dnswire.Type) []*dnswire.RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	set := z.sets[rrKey{dnswire.CanonicalName(name), t}]
+	if len(set) == 0 {
+		return nil
+	}
+	return append([]*dnswire.RR(nil), set...)
+}
+
+// LookupAll returns every RRset owned by name, grouped by type.
+func (z *Zone) LookupAll(name string) map[dnswire.Type][]*dnswire.RR {
+	name = dnswire.CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make(map[dnswire.Type][]*dnswire.RR)
+	for k, set := range z.sets {
+		if k.name == name {
+			out[k.typ] = append([]*dnswire.RR(nil), set...)
+		}
+	}
+	return out
+}
+
+// HasName reports whether any RRset is owned by name.
+func (z *Zone) HasName(name string) bool {
+	name = dnswire.CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for k := range z.sets {
+		if k.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Names returns every owner name in canonical (RFC 4034 section 6.1) order.
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	seen := make(map[string]bool)
+	for k := range z.sets {
+		seen[k.name] = true
+	}
+	z.mu.RUnlock()
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return dnswire.CompareCanonical(names[i], names[j]) < 0
+	})
+	return names
+}
+
+// RRSets invokes fn for every RRset in deterministic order. fn must not
+// mutate the zone.
+func (z *Zone) RRSets(fn func(name string, t dnswire.Type, rrs []*dnswire.RR)) {
+	z.mu.RLock()
+	keys := make([]rrKey, 0, len(z.sets))
+	for k := range z.sets {
+		keys = append(keys, k)
+	}
+	z.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if c := dnswire.CompareCanonical(keys[i].name, keys[j].name); c != 0 {
+			return c < 0
+		}
+		return keys[i].typ < keys[j].typ
+	})
+	for _, k := range keys {
+		z.mu.RLock()
+		set := append([]*dnswire.RR(nil), z.sets[k]...)
+		z.mu.RUnlock()
+		if len(set) > 0 {
+			fn(k.name, k.typ, set)
+		}
+	}
+}
+
+// Len returns the total number of records.
+func (z *Zone) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	n := 0
+	for _, set := range z.sets {
+		n += len(set)
+	}
+	return n
+}
+
+// SOA returns the apex SOA record, or nil.
+func (z *Zone) SOA() *dnswire.RR {
+	set := z.Lookup(z.Origin, dnswire.TypeSOA)
+	if len(set) == 0 {
+		return nil
+	}
+	return set[0]
+}
+
+// BumpSerial increments the SOA serial, creating change visibility for
+// secondaries and scanners.
+func (z *Zone) BumpSerial() {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	for _, rr := range z.sets[rrKey{z.Origin, dnswire.TypeSOA}] {
+		if soa, ok := rr.Data.(*dnswire.SOA); ok {
+			soa.Serial++
+		}
+	}
+}
+
+// DelegationFor finds the closest delegation cut at or above qname (strictly
+// below the apex). It returns the cut name and its NS RRset, or "" when
+// qname is authoritatively inside this zone.
+func (z *Zone) DelegationFor(qname string) (string, []*dnswire.RR) {
+	qname = dnswire.CanonicalName(qname)
+	if !dnswire.IsSubdomain(qname, z.Origin) {
+		return "", nil
+	}
+	// Walk from qname up to (but excluding) the apex looking for NS sets.
+	for cur := qname; cur != z.Origin; {
+		if ns := z.Lookup(cur, dnswire.TypeNS); len(ns) > 0 {
+			return cur, ns
+		}
+		p, ok := dnswire.Parent(cur)
+		if !ok || !dnswire.IsSubdomain(p, z.Origin) {
+			break
+		}
+		cur = p
+	}
+	return "", nil
+}
+
+// IsDelegated reports whether qname falls at or under a delegation cut
+// (i.e. this zone is not authoritative for it, except for the DS RRset at
+// the cut itself, which the caller must special-case).
+func (z *Zone) IsDelegated(qname string) bool {
+	cut, _ := z.DelegationFor(qname)
+	return cut != ""
+}
+
+// Clone produces a deep-enough copy: RRset slices are copied; the records
+// themselves are shared (they are treated as immutable once added).
+func (z *Zone) Clone() *Zone {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	c := New(z.Origin)
+	c.DefaultTTL = z.DefaultTTL
+	for k, set := range z.sets {
+		c.sets[k] = append([]*dnswire.RR(nil), set...)
+	}
+	return c
+}
+
+func present(name string) string {
+	if name == "" {
+		return "."
+	}
+	return name
+}

@@ -1,0 +1,288 @@
+// Package registrarsec is a full-system reproduction of "Understanding the
+// Role of Registrars in DNSSEC Deployment" (Chung et al., IMC 2017).
+//
+// It bundles a complete DNSSEC measurement stack — wire format, signing and
+// validation, authoritative serving, iterative validating resolution, an
+// OpenINTEL-style scan engine — with a behavioural model of the domain
+// registration ecosystem: registries (with ccTLD financial incentives and
+// RFC 7344 CDS polling), the paper's named registrars and resellers with
+// their observed DNSSEC policies, third-party DNS operators, and the
+// out-of-band channels (web forms, email, tickets, live chat) through which
+// DS records travel — and so often get lost.
+//
+// The Study type is the top-level entry point: it builds the world, probes
+// registrars exactly as the paper's authors did (by buying domains and
+// trying to deploy DNSSEC), runs longitudinal measurements, and regenerates
+// every table and figure of the paper's evaluation.
+package registrarsec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/ecosystem"
+	"securepki.org/registrarsec/internal/probe"
+	"securepki.org/registrarsec/internal/registrar"
+	"securepki.org/registrarsec/internal/registry"
+	"securepki.org/registrarsec/internal/scan"
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/tldsim"
+)
+
+// Re-exported types forming the public API surface.
+type (
+	// Observation is one registrar's probe result (a Table 2/3 row).
+	Observation = probe.Observation
+	// SeriesPoint is one day of a deployment time series.
+	SeriesPoint = analysis.SeriesPoint
+	// CDFPoint is one step of the Figure 3 operator CDF.
+	CDFPoint = analysis.CDFPoint
+	// TLDOverview is one Table 1 row.
+	TLDOverview = analysis.TLDOverview
+	// Snapshot is one day of scan records.
+	Snapshot = dataset.Snapshot
+	// Record is one domain's observed state.
+	Record = dataset.Record
+	// Deployment is the none/partial/full/broken classification.
+	Deployment = dnssec.Deployment
+	// Day is a simulation day (days since 2015-01-01).
+	Day = simtime.Day
+	// SurveyRow is one Table 4 row.
+	SurveyRow = probe.SurveyRow
+	// Registrar is a live registrar agent.
+	Registrar = registrar.Registrar
+	// World is the generated domain population.
+	World = tldsim.World
+)
+
+// Deployment classes.
+const (
+	DeploymentNone    = dnssec.DeploymentNone
+	DeploymentPartial = dnssec.DeploymentPartial
+	DeploymentFull    = dnssec.DeploymentFull
+	DeploymentBroken  = dnssec.DeploymentBroken
+)
+
+// Milestone days of the measurement window.
+var (
+	WindowStart   = simtime.GTLDStart
+	WindowEnd     = simtime.End
+	NLWindowStart = simtime.NLStart
+	SEWindowStart = simtime.SEStart
+	CloudflareDay = simtime.CloudflareUniversalDNSSEC
+)
+
+// AllTLDs is the study's TLD set: com, net, org, nl, se.
+var AllTLDs = tldsim.AllTLDs
+
+// Options configure a Study.
+type Options struct {
+	// Scale shrinks the domain populations (default 1/1000).
+	Scale float64
+	// Seed makes the world reproducible (default 1).
+	Seed int64
+	// SkipWorld omits the domain-population model (probe-only studies).
+	SkipWorld bool
+	// SkipAgents omits the live registrar agents (measurement-only
+	// studies).
+	SkipAgents bool
+}
+
+// Study is a fully wired reproduction environment.
+type Study struct {
+	// Eco is the live substrate: root, registries, network, clock.
+	Eco *ecosystem.Ecosystem
+	// World is the generated domain population (nil with SkipWorld).
+	World *tldsim.World
+	// Agents are the catalogue registrars by ID (nil with SkipAgents).
+	Agents map[string]*registrar.Registrar
+	// Top20 and Top10 are the probe populations of Tables 2 and 3.
+	Top20, Top10 []*registrar.Registrar
+}
+
+// NewStudy builds the ecosystem, the registrar agents, and the domain
+// population model.
+func NewStudy(opts Options) (*Study, error) {
+	if opts.Scale == 0 {
+		opts.Scale = 1.0 / 1000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	eco, err := ecosystem.New(ecosystem.Config{
+		TLDs: tldsim.AllTLDs,
+		Incentives: map[string]*registry.Incentive{
+			// The .nl and .se incentive programs (section 6.3): €0.28/yr
+			// and ~10 SEK/yr per correctly signed domain, with compliance
+			// auditing.
+			"nl": {DiscountPerYear: 0.28, MaxFailures: 14, WindowDays: 180},
+			"se": {DiscountPerYear: 1.10, MaxFailures: 14, WindowDays: 180},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{Eco: eco}
+	if !opts.SkipAgents {
+		byID, top20, top10, err := tldsim.BuildAgents(eco.Registries, eco.Net, eco.Clock.Day)
+		if err != nil {
+			return nil, err
+		}
+		s.Agents, s.Top20, s.Top10 = byID, top20, top10
+	}
+	if !opts.SkipWorld {
+		world, err := tldsim.Build(tldsim.WorldConfig{Scale: opts.Scale, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		s.World = world
+	}
+	return s, nil
+}
+
+// Prober returns a prober bound to this study's environment.
+func (s *Study) Prober() *probe.Prober {
+	return probe.New(&probe.Env{
+		Net:        s.Eco.Net,
+		Registries: s.Eco.Registries,
+		Anchor:     s.Eco.Anchor,
+		Clock:      s.Eco.Clock.Day,
+	})
+}
+
+// ProbeTable2 runs the hands-on methodology against the top-20 registrars.
+func (s *Study) ProbeTable2() []*Observation {
+	return s.Prober().RunAll(s.Top20)
+}
+
+// ProbeTable3 runs it against the ten DNSSEC-heavy registrars.
+func (s *Study) ProbeTable3() []*Observation {
+	return s.Prober().RunAll(s.Top10)
+}
+
+// SurveyTable4 asks the eleven DNSSEC-supporting DNS operators for their
+// per-TLD standing.
+func (s *Study) SurveyTable4() []SurveyRow {
+	ids := []string{
+		"ovh", "godaddy", "meshdigital", "domainnameshop", "transip",
+		"namecheap", "binero", "pcextreme", "antagonist", "loopia", "kpn",
+	}
+	regs := make([]*registrar.Registrar, 0, len(ids))
+	for _, id := range ids {
+		if r := s.Agents[id]; r != nil {
+			regs = append(regs, r)
+		}
+	}
+	return probe.Survey(regs, s.Agents, tldsim.AllTLDs)
+}
+
+// Table1 computes the dataset overview at the end of the window.
+func (s *Study) Table1() []TLDOverview {
+	snap := s.World.SnapshotAt(simtime.End)
+	return analysis.Overview(snap, tldsim.AllTLDs)
+}
+
+// Figure3 computes the three operator CDFs of Figure 3 over the gTLDs.
+func (s *Study) Figure3() (all, partial, full []CDFPoint) {
+	snap := s.World.SnapshotAt(simtime.End)
+	inGTLD := func(r *dataset.Record) bool {
+		return r.TLD == "com" || r.TLD == "net" || r.TLD == "org"
+	}
+	all = analysis.OperatorCDF(snap, inGTLD)
+	partial = analysis.OperatorCDF(snap, analysis.And(inGTLD, analysis.PartiallyDeployed))
+	full = analysis.OperatorCDF(snap, analysis.And(inGTLD, analysis.FullyDeployed))
+	return all, partial, full
+}
+
+// OperatorsToCover re-exports the CDF coverage helper.
+func OperatorsToCover(cdf []CDFPoint, frac float64) int {
+	return analysis.OperatorsToCover(cdf, frac)
+}
+
+// Series computes a deployment time series for one operator/TLD pair
+// ("" = all TLDs) at the given day step.
+func (s *Study) Series(operator, tld string, from, to Day, stepDays int) []SeriesPoint {
+	return s.World.SeriesFor(operator, tld, from, to, stepDays)
+}
+
+// Figure4 returns the OVH and GoDaddy full-deployment series.
+func (s *Study) Figure4(stepDays int) (ovh, godaddy []SeriesPoint) {
+	return s.Series("ovh.net", "", simtime.GTLDStart, simtime.End, stepDays),
+		s.Series("domaincontrol.com", "", simtime.GTLDStart, simtime.End, stepDays)
+}
+
+// Figure8 returns the Cloudflare series (DNSKEY growth and the DS gap).
+func (s *Study) Figure8(stepDays int) []SeriesPoint {
+	return s.Series("cloudflare.com", "", simtime.GTLDStart, simtime.End, stepDays)
+}
+
+// ScanSample materializes n sampled domains as real signed DNS at the given
+// day and measures them with the scan engine — the live-measurement
+// cross-check of the world model.
+func (s *Study) ScanSample(ctx context.Context, day Day, n int, workers int) (*Snapshot, error) {
+	sample := s.World.Sample(n, int64(day))
+	mat, err := tldsim.Materialize(day, sample)
+	if err != nil {
+		return nil, err
+	}
+	scanner, err := scan.New(scan.Config{
+		Exchange:   mat.Net,
+		TLDServers: mat.TLDServers,
+		Workers:    workers,
+		Clock:      func() simtime.Day { return day },
+	})
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]scan.Target, 0, len(sample))
+	for _, d := range sample {
+		targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
+	}
+	return scanner.ScanDay(ctx, day, targets)
+}
+
+// RenderTable2 formats Table 2 observations with per-registrar domain
+// counts from the world model.
+func (s *Study) RenderTable2(obs []*Observation) string {
+	counts := map[string]int{}
+	if s.World != nil {
+		counts = s.World.DomainsByRegistrar("com", "net", "org")
+	}
+	return probe.RenderTable2(obs, counts)
+}
+
+// RenderTable3 formats Table 3 observations with DNSKEY counts.
+func (s *Study) RenderTable3(obs []*Observation) string {
+	counts := map[string]int{}
+	if s.World != nil {
+		counts = s.World.DNSKEYDomainsByRegistrar(simtime.End, "com", "net", "org")
+	}
+	return probe.RenderTable3(obs, counts)
+}
+
+// RenderTable4 formats the survey matrix.
+func RenderTable4(rows []SurveyRow) string {
+	return probe.RenderTable4(rows, tldsim.AllTLDs)
+}
+
+// RenderTable1 formats the dataset overview.
+func RenderTable1(rows []TLDOverview) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s  %12s  %10s  %10s  %10s\n", "TLD", "Domains", "%DNSKEY", "%Full", "%Partial")
+	sb.WriteString(strings.Repeat("-", 56))
+	sb.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, ".%-4s  %12d  %9.2f%%  %9.2f%%  %9.2f%%\n",
+			r.TLD, r.Domains, r.PctDNSKEY, r.PctFull, r.PctPartial)
+	}
+	return sb.String()
+}
+
+// Summarize tallies probe observations into the section-5 headline counts.
+func Summarize(obs []*Observation) probe.Table2Summary {
+	return probe.Summarize(obs)
+}

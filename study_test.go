@@ -1,0 +1,138 @@
+package registrarsec
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// testStudyOnce shares one full study across the root-package tests.
+var (
+	tsOnce  sync.Once
+	tsStudy *Study
+	tsErr   error
+)
+
+func testStudy(t *testing.T) *Study {
+	t.Helper()
+	tsOnce.Do(func() {
+		tsStudy, tsErr = NewStudy(Options{Scale: 1.0 / 2000, Seed: 3})
+	})
+	if tsErr != nil {
+		t.Fatal(tsErr)
+	}
+	return tsStudy
+}
+
+func TestStudyTable1(t *testing.T) {
+	s := testStudy(t)
+	rows := s.Table1()
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 rows: %d", len(rows))
+	}
+	text := RenderTable1(rows)
+	for _, tld := range AllTLDs {
+		if !strings.Contains(text, "."+tld) {
+			t.Errorf("Table 1 missing .%s:\n%s", tld, text)
+		}
+	}
+	// Directional check: ccTLDs far ahead of gTLDs.
+	byTLD := map[string]TLDOverview{}
+	for _, r := range rows {
+		byTLD[r.TLD] = r
+	}
+	if byTLD["nl"].PctDNSKEY < 10*byTLD["com"].PctDNSKEY {
+		t.Errorf(".nl (%.1f%%) should dwarf .com (%.2f%%)", byTLD["nl"].PctDNSKEY, byTLD["com"].PctDNSKEY)
+	}
+}
+
+func TestStudyFigure3(t *testing.T) {
+	s := testStudy(t)
+	all, partial, full := s.Figure3()
+	if OperatorsToCover(full, 0.5) > OperatorsToCover(all, 0.5) {
+		t.Error("full deployment should be more concentrated than the overall market")
+	}
+	if len(partial) == 0 || len(full) == 0 {
+		t.Fatal("empty CDFs")
+	}
+}
+
+func TestStudySeriesAndFigures(t *testing.T) {
+	s := testStudy(t)
+	ovh, gd := s.Figure4(60)
+	if len(ovh) == 0 || len(gd) == 0 {
+		t.Fatal("empty Figure 4 series")
+	}
+	if ovh[len(ovh)-1].PctFull() < gd[len(gd)-1].PctFull() {
+		t.Error("OVH should far exceed GoDaddy")
+	}
+	cf := s.Figure8(60)
+	if cf[0].WithDNSKEY != 0 {
+		t.Error("Cloudflare series should start at zero before launch")
+	}
+}
+
+func TestStudyProbeCampaigns(t *testing.T) {
+	// Fresh study: probing mutates agents.
+	s, err := NewStudy(Options{SkipWorld: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := s.ProbeTable2()
+	if len(obs) != 20 {
+		t.Fatalf("Table 2 observations: %d", len(obs))
+	}
+	sum := Summarize(obs)
+	if sum.HostedSupport != 3 || sum.OwnerSupport != 11 {
+		t.Errorf("headline numbers: hosted=%d owner=%d", sum.HostedSupport, sum.OwnerSupport)
+	}
+	table := s.RenderTable2(obs)
+	if !strings.Contains(table, "GoDaddy") || !strings.Contains(table, "OVH") {
+		t.Error("Table 2 rendering incomplete")
+	}
+	rows := s.SurveyTable4()
+	if len(rows) != 11 {
+		t.Errorf("Table 4 rows: %d", len(rows))
+	}
+	if RenderTable4(rows) == "" {
+		t.Error("empty Table 4")
+	}
+}
+
+func TestStudyScanSampleAgreesWithModel(t *testing.T) {
+	s := testStudy(t)
+	snap, err := s.ScanSample(context.Background(), simtime.End, 120, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Records) != 120 {
+		t.Fatalf("scanned %d records", len(snap.Records))
+	}
+	model := s.World.SnapshotAt(simtime.End)
+	modelClass := map[string]Deployment{}
+	for i := range model.Records {
+		modelClass[model.Records[i].Domain] = model.Records[i].Deployment()
+	}
+	for i := range snap.Records {
+		r := &snap.Records[i]
+		if want, ok := modelClass[r.Domain]; !ok || r.Deployment() != want {
+			t.Errorf("%s: scan %v, model %v", r.Domain, r.Deployment(), want)
+		}
+	}
+}
+
+func TestStudyOptions(t *testing.T) {
+	s, err := NewStudy(Options{SkipWorld: true, SkipAgents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.World != nil || s.Agents != nil {
+		t.Error("skip options ignored")
+	}
+	if s.Eco == nil || len(s.Eco.Registries) != 5 {
+		t.Error("ecosystem incomplete")
+	}
+}
