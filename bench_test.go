@@ -263,7 +263,7 @@ func BenchmarkScanSampleVerification(b *testing.B) {
 	var snap *Snapshot
 	for i := 0; i < b.N; i++ {
 		var err error
-		snap, err = s.ScanSample(ctx, simtime.End, 200, 8)
+		snap, _, err = s.ScanSample(ctx, simtime.End, 200, 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -400,7 +400,7 @@ func BenchmarkScanWorkers(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				snap, err := scanner.ScanDay(context.Background(), simtime.End, targets)
+				snap, _, err := scanner.ScanDay(context.Background(), simtime.End, targets)
 				if err != nil {
 					b.Fatal(err)
 				}

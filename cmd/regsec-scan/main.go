@@ -6,9 +6,13 @@
 // Usage:
 //
 //	regsec-scan [-scale 2000] [-seed 1] [-days 2016-06-01,2016-12-31] [-sample 1000] [-workers 16] [-o archive.tsv]
+//	            [-retries 3] [-resweeps 2] [-fault-frac 0.5] [-fault-loss 0.2] [-fault-seed 1]
 //
 // With -o the snapshots are written in the dataset TSV archive format that
-// regsec-report -archive can analyze; otherwise records go to stdout.
+// regsec-report -archive can analyze; otherwise records go to stdout. The
+// -fault-* flags wrap the materialized network in the fault injector,
+// making a configured fraction of DNS operators lossy — a resilience drill
+// for the scan path; each day's sweep-health report goes to stderr.
 package main
 
 import (
@@ -20,6 +24,9 @@ import (
 	"time"
 
 	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/faultnet"
+	"securepki.org/registrarsec/internal/retry"
 	"securepki.org/registrarsec/internal/scan"
 	"securepki.org/registrarsec/internal/simtime"
 	"securepki.org/registrarsec/internal/tldsim"
@@ -32,6 +39,11 @@ func main() {
 	sample := flag.Int("sample", 1000, "domains to materialize and scan")
 	workers := flag.Int("workers", 16, "scan concurrency")
 	outPath := flag.String("o", "", "write a TSV snapshot archive instead of stdout records")
+	retries := flag.Int("retries", 3, "per-query attempt budget")
+	resweeps := flag.Int("resweeps", 2, "re-sweep passes over failed targets (-1 disables)")
+	faultFrac := flag.Float64("fault-frac", 0, "fraction of DNS operators made faulty (0 disables injection)")
+	faultLoss := flag.Float64("fault-loss", 0.2, "packet-loss probability on faulty operators")
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
 	flag.Parse()
 
 	var days []simtime.Day
@@ -54,17 +66,26 @@ func main() {
 	start := time.Now()
 	var queries int64
 	for _, day := range days {
+		day := day
 		fmt.Fprintf(os.Stderr, "materializing %d domains at %s (real keys, real signatures)...\n", len(domains), day)
 		mat, err := tldsim.Materialize(day, domains)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		var exchange dnsserver.Exchanger = mat.Net
+		if *faultFrac > 0 {
+			rules, faulty := tldsim.LossyOperators(domains, *faultFrac, *faultLoss, *faultSeed)
+			exchange = faultnet.New(mat.Net, *faultSeed, func() simtime.Day { return day }, rules...)
+			fmt.Fprintf(os.Stderr, "injecting %.0f%% loss on %d operator(s)\n", *faultLoss*100, len(faulty))
+		}
 		scanner, err := scan.New(scan.Config{
-			Exchange:   mat.Net,
-			TLDServers: mat.TLDServers,
-			Workers:    *workers,
-			Clock:      func() simtime.Day { return day },
+			Exchange:    exchange,
+			TLDServers:  mat.TLDServers,
+			Workers:     *workers,
+			Clock:       func() simtime.Day { return day },
+			Retry:       retry.Policy{MaxAttempts: *retries},
+			MaxResweeps: *resweeps,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -74,11 +95,12 @@ func main() {
 		for _, d := range domains {
 			targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
 		}
-		snap, err := scanner.ScanDay(context.Background(), day, targets)
+		snap, health, err := scanner.ScanDay(context.Background(), day, targets)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		fmt.Fprintln(os.Stderr, health)
 		store.Add(snap)
 		queries += scanner.Queries()
 	}
@@ -104,9 +126,13 @@ func main() {
 			snap := store.Get(day)
 			for i := range snap.Records {
 				r := &snap.Records[i]
+				class := r.Deployment().String()
+				if r.Failed {
+					class = "unmeasured(" + r.FailReason + ")"
+				}
 				fmt.Printf("%s\t%s\t%s\t%s\t%v\t%v\t%v\t%v\t%s\n",
 					r.Domain, r.TLD, r.Operator, strings.Join(r.NSHosts, ","),
-					r.HasDNSKEY, r.HasRRSIG, r.HasDS, r.ChainValid, r.Deployment())
+					r.HasDNSKEY, r.HasRRSIG, r.HasDS, r.ChainValid, class)
 			}
 		}
 	}

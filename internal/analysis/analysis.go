@@ -17,6 +17,10 @@ type Filter func(*dataset.Record) bool
 // All accepts every record.
 func All(*dataset.Record) bool { return true }
 
+// Measured selects records that carry a real observation (not a sweep
+// failure placeholder).
+func Measured(r *dataset.Record) bool { return r.Measured() }
+
 // PartiallyDeployed selects domains with DNSKEYs but no DS.
 func PartiallyDeployed(r *dataset.Record) bool {
 	return r.Deployment() == dnssec.DeploymentPartial
@@ -63,9 +67,10 @@ func CountByOperator(snap *dataset.Snapshot, f Filter) []OperatorCount {
 	counts := make(map[string]int)
 	for i := range snap.Records {
 		r := &snap.Records[i]
-		if f(r) {
-			counts[r.Operator]++
+		if r.Failed || !f(r) {
+			continue
 		}
+		counts[r.Operator]++
 	}
 	out := make([]OperatorCount, 0, len(counts))
 	for op, n := range counts {
@@ -191,7 +196,7 @@ func Series(store *dataset.Store, f Filter) []SeriesPoint {
 		p := SeriesPoint{Day: day}
 		for i := range snap.Records {
 			r := &snap.Records[i]
-			if !f(r) {
+			if r.Failed || !f(r) {
 				continue
 			}
 			p.Total++
@@ -218,7 +223,7 @@ func DSGapPct(snap *dataset.Snapshot, f Filter) float64 {
 	keyed, gap := 0, 0
 	for i := range snap.Records {
 		r := &snap.Records[i]
-		if !f(r) || !r.HasDNSKEY {
+		if r.Failed || !f(r) || !r.HasDNSKEY {
 			continue
 		}
 		keyed++
@@ -249,6 +254,9 @@ func Overview(snap *dataset.Snapshot, tlds []string) []TLDOverview {
 	counts := map[string][4]int{} // total, dnskey, full, partial
 	for i := range snap.Records {
 		r := &snap.Records[i]
+		if r.Failed {
+			continue
+		}
 		c := counts[r.TLD]
 		c[0]++
 		if r.HasDNSKEY {

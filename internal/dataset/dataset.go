@@ -33,17 +33,41 @@ type Record struct {
 	// ChainValid is whether a DS matches a served DNSKEY and the DNSKEY
 	// RRset signature verifies.
 	ChainValid bool
+	// Failed marks a target that could not be measured that day — the
+	// OpenINTEL-style measurement-gap marker. A failed record's DNSSEC
+	// fields are meaningless and must not enter deployment statistics:
+	// "could not measure" is not "no DNSKEY".
+	Failed bool
+	// FailReason carries the failure class when Failed ("timeout",
+	// "lame", ...), empty otherwise.
+	FailReason string
 }
+
+// Measured reports whether the record carries a real observation.
+func (r *Record) Measured() bool { return !r.Failed }
 
 // Deployment classifies the record per the paper's taxonomy.
 func (r *Record) Deployment() dnssec.Deployment {
 	return dnssec.Classify(r.HasDNSKEY, r.HasDS, r.ChainValid)
 }
 
-// Snapshot is all records observed on one day.
+// Snapshot is all records observed on one day. Records with Failed set are
+// placeholders for targets the sweep could not measure; they keep the gap
+// visible in the archive without polluting deployment statistics.
 type Snapshot struct {
 	Day     simtime.Day
 	Records []Record
+}
+
+// MeasuredCount returns how many records carry real observations.
+func (s *Snapshot) MeasuredCount() int {
+	n := 0
+	for i := range s.Records {
+		if s.Records[i].Measured() {
+			n++
+		}
+	}
+	return n
 }
 
 // awsdnsPattern matches Amazon Route 53's nameserver naming convention,

@@ -111,6 +111,50 @@ func TestTSVRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTSVFailedRecordRoundTrip(t *testing.T) {
+	store := NewStore()
+	store.Add(&Snapshot{Day: simtime.Date(2016, 6, 1), Records: []Record{
+		{Domain: "up.com", TLD: "com", Operator: "op.net", NSHosts: []string{"ns1.op.net"}, HasDNSKEY: true},
+		{Domain: "down.com", TLD: "com", Failed: true, FailReason: "timeout"},
+		{Domain: "odd.com", TLD: "com", Failed: true}, // no class recorded
+	}})
+	var buf bytes.Buffer
+	if err := store.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := got.Get(simtime.Date(2016, 6, 1)).Records
+	if len(recs) != 3 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	if recs[0].Failed || !recs[0].Measured() {
+		t.Errorf("up.com marked failed after round trip: %+v", recs[0])
+	}
+	if !recs[1].Failed || recs[1].FailReason != "timeout" || recs[1].Measured() {
+		t.Errorf("down.com lost its gap marker: %+v", recs[1])
+	}
+	// A Failed record without a class still round-trips as failed.
+	if !recs[2].Failed || recs[2].FailReason != "failed" {
+		t.Errorf("odd.com: %+v", recs[2])
+	}
+	if got.Get(simtime.Date(2016, 6, 1)).MeasuredCount() != 1 {
+		t.Errorf("MeasuredCount = %d, want 1", got.Get(simtime.Date(2016, 6, 1)).MeasuredCount())
+	}
+
+	// Legacy eight-field archives (no status column) read as measured.
+	legacy := "#snapshot\t2016-01-01\t1\nold.com\tcom\top.net\tns1.op.net\ttrue\tfalse\tfalse\tfalse\n"
+	old, err := ReadTSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := old.Get(simtime.Date(2016, 1, 1)).Records[0]; r.Failed || !r.Measured() {
+		t.Errorf("legacy record marked failed: %+v", r)
+	}
+}
+
 func TestReadTSVErrors(t *testing.T) {
 	cases := []string{
 		"a.com\tcom\top\tns\ttrue\ttrue\ttrue\ttrue\n", // record before header

@@ -23,9 +23,18 @@ func (s *Snapshot) WriteTSV(w io.Writer) error {
 	fmt.Fprintf(bw, "%s\t%s\t%d\n", tsvHeader, s.Day, len(s.Records))
 	for i := range s.Records {
 		r := &s.Records[i]
-		fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%t\t%t\t%t\t%t\n",
+		// The ninth column is the measurement status: "ok", or the
+		// failure class of an unmeasured target.
+		status := "ok"
+		if r.Failed {
+			status = r.FailReason
+			if status == "" {
+				status = "failed"
+			}
+		}
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%s\t%t\t%t\t%t\t%t\t%s\n",
 			r.Domain, r.TLD, r.Operator, strings.Join(r.NSHosts, ","),
-			r.HasDNSKEY, r.HasRRSIG, r.HasDS, r.ChainValid)
+			r.HasDNSKEY, r.HasRRSIG, r.HasDS, r.ChainValid, status)
 	}
 	return bw.Flush()
 }
@@ -76,20 +85,25 @@ func ReadTSV(r io.Reader) (*Store, error) {
 		if cur == nil {
 			return nil, fmt.Errorf("dataset: line %d: record before snapshot header", lineNo)
 		}
-		if len(fields) != 8 {
-			return nil, fmt.Errorf("dataset: line %d: %d fields, want 8", lineNo, len(fields))
+		// Eight fields is the legacy (pre-status-column) record layout.
+		if len(fields) != 8 && len(fields) != 9 {
+			return nil, fmt.Errorf("dataset: line %d: %d fields, want 8 or 9", lineNo, len(fields))
 		}
 		rec := Record{Domain: fields[0], TLD: fields[1], Operator: fields[2]}
 		if fields[3] != "" {
 			rec.NSHosts = strings.Split(fields[3], ",")
 		}
 		bools := [4]*bool{&rec.HasDNSKEY, &rec.HasRRSIG, &rec.HasDS, &rec.ChainValid}
-		for i, f := range fields[4:] {
+		for i, f := range fields[4:8] {
 			v, err := strconv.ParseBool(f)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d: bad bool %q", lineNo, f)
 			}
 			*bools[i] = v
+		}
+		if len(fields) == 9 && fields[8] != "ok" {
+			rec.Failed = true
+			rec.FailReason = fields[8]
 		}
 		cur.Records = append(cur.Records, rec)
 	}

@@ -13,13 +13,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"securepki.org/registrarsec/internal/dnssec"
 	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/retry"
 )
 
 // Errors returned by resolution.
@@ -45,6 +45,10 @@ type Config struct {
 	DNSSEC bool
 	// MaxReferrals bounds the referral chase (default 16).
 	MaxReferrals int
+	// Retry wraps Exchange in the per-query retry discipline (nil
+	// disables retries; transient transport errors then immediately
+	// rotate to the next server).
+	Retry *retry.Policy
 }
 
 // Result is the outcome of an iterative resolution.
@@ -83,13 +87,17 @@ func (r *Result) RRSet(name string, t dnswire.Type) *dnssec.RRSet {
 
 // Resolver iteratively resolves names starting from the root servers.
 type Resolver struct {
-	cfg Config
+	cfg      Config
+	exchange dnsserver.Exchanger
 
 	mu    sync.RWMutex
 	cache map[string]cacheEntry // zone apex -> servers + cut chain
 
 	queries atomic.Int64
 	id      atomic.Uint32
+	rot     atomic.Uint32
+	lame    atomic.Int64
+	errs    atomic.Int64
 }
 
 // New creates a resolver from cfg.
@@ -100,11 +108,26 @@ func New(cfg Config) *Resolver {
 	if cfg.AddrOf == nil {
 		cfg.AddrOf = func(host string) (string, bool) { return host, true }
 	}
-	return &Resolver{cfg: cfg, cache: make(map[string]cacheEntry)}
+	r := &Resolver{cfg: cfg, cache: make(map[string]cacheEntry)}
+	r.exchange = cfg.Exchange
+	if cfg.Retry != nil {
+		// Lame rcodes stay with exchangeAny's own server rotation; the
+		// retry layer only absorbs transient transport faults.
+		r.exchange = dnsserver.NewRetrying(cfg.Exchange, *cfg.Retry)
+	}
+	return r
 }
 
 // Queries returns the number of upstream queries sent.
 func (r *Resolver) Queries() int64 { return r.queries.Load() }
+
+// LameResponses returns how many SERVFAIL/REFUSED answers forced a server
+// rotation.
+func (r *Resolver) LameResponses() int64 { return r.lame.Load() }
+
+// TransportErrors returns how many exchanges failed outright (after any
+// configured retries) and forced a server rotation.
+func (r *Resolver) TransportErrors() int64 { return r.errs.Load() }
 
 // FlushCache clears the referral cache; the simulation calls this when it
 // mutates delegations between measurement days.
@@ -143,23 +166,28 @@ func (r *Resolver) newQuery(name string, t dnswire.Type) *dnswire.Message {
 	return q
 }
 
-// exchangeAny tries the servers in order until one responds.
+// exchangeAny rotates through the servers until one gives a usable answer:
+// a transport error or lame rcode (SERVFAIL/REFUSED) moves on to the next
+// server rather than failing the referral chase. The starting offset is a
+// deterministic round-robin, which spreads load across a zone's NS set
+// without making failure behavior depend on a global random source.
 func (r *Resolver) exchangeAny(ctx context.Context, servers []string, q *dnswire.Message) (*dnswire.Message, string, error) {
 	if len(servers) == 0 {
 		return nil, "", ErrNoServers
 	}
 	var lastErr error = ErrAllServersBad
-	// Start at a random offset for coarse load spreading.
-	off := rand.Intn(len(servers))
+	off := int(r.rot.Add(1)-1) % len(servers)
 	for i := range servers {
 		server := servers[(off+i)%len(servers)]
 		r.queries.Add(1)
-		resp, err := r.cfg.Exchange.Exchange(ctx, server, q)
+		resp, err := r.exchange.Exchange(ctx, server, q)
 		if err != nil {
+			r.errs.Add(1)
 			lastErr = err
 			continue
 		}
 		if resp.RCode == dnswire.RCodeServerFailure || resp.RCode == dnswire.RCodeRefused {
+			r.lame.Add(1)
 			lastErr = fmt.Errorf("%w: %s from %s", ErrLame, resp.RCode, server)
 			continue
 		}

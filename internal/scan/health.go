@@ -1,0 +1,135 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// FailClass buckets why a target could not be measured.
+type FailClass string
+
+// Failure classes reported in SweepHealth.ByClass.
+const (
+	// FailTimeout is packet loss, an unresponsive server, or an outage.
+	FailTimeout FailClass = "timeout"
+	// FailNoRoute is a server address the transport cannot reach at all.
+	FailNoRoute FailClass = "noroute"
+	// FailLame is a SERVFAIL/REFUSED where an answer was required.
+	FailLame FailClass = "lame"
+	// FailNoNS is a registered domain whose referral carried no NS RRset.
+	FailNoNS FailClass = "no-ns"
+	// FailTransport is any other transport-level error.
+	FailTransport FailClass = "transport"
+	// FailUnknownTLD is a target under a TLD with no configured server —
+	// a sweep configuration gap, distinct from NXDOMAIN.
+	FailUnknownTLD FailClass = "unknown-tld"
+)
+
+// Failure is one target the sweep could not measure, after all retries and
+// re-sweep passes.
+type Failure struct {
+	Target Target
+	// Stage is the step that failed: "ns", "ds", or "dnskey".
+	Stage string
+	Class FailClass
+	// Err is the last underlying error, for diagnostics.
+	Err string
+}
+
+// SweepHealth is the failure accounting for one ScanDay: what was measured,
+// what could not be, and what the retry layer spent getting there. It is
+// how longitudinal series distinguish "no DNSKEY" from "could not measure"
+// — the same role OpenINTEL's measurement-gap markers play for the paper's
+// dataset.
+type SweepHealth struct {
+	Day simtime.Day
+	// Targets is the sweep's input size.
+	Targets int
+	// Measured counts targets with a real observation in the snapshot.
+	Measured int
+	// Unregistered counts NXDOMAIN targets (absent from the zone — not a
+	// failure, they are simply not registered).
+	Unregistered int
+	// SkippedUnknownTLD lists targets under TLDs missing from
+	// Config.TLDServers.
+	SkippedUnknownTLD []string
+	// Failures lists the targets still unmeasured after every re-sweep.
+	Failures []Failure
+	// ByClass tallies failures (and unknown-TLD skips) per class.
+	ByClass map[FailClass]int
+	// Retries is the number of extra per-query attempts the retry layer
+	// spent during this sweep.
+	Retries int64
+	// FailedExchanges counts queries that failed after exhausting their
+	// attempt budget.
+	FailedExchanges int64
+	// Resweeps is how many bounded re-sweep passes ran over failed
+	// targets.
+	Resweeps int
+}
+
+// Complete reports whether every target was either measured or positively
+// identified as unregistered.
+func (h *SweepHealth) Complete() bool {
+	return len(h.Failures) == 0 && len(h.SkippedUnknownTLD) == 0
+}
+
+// FailureRate is the fraction of targets that could not be measured.
+func (h *SweepHealth) FailureRate() float64 {
+	if h.Targets == 0 {
+		return 0
+	}
+	return float64(len(h.Failures)+len(h.SkippedUnknownTLD)) / float64(h.Targets)
+}
+
+// String renders a one-line summary for logs and CLI output.
+func (h *SweepHealth) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweep %s: %d/%d measured, %d unregistered",
+		h.Day, h.Measured, h.Targets, h.Unregistered)
+	if len(h.Failures) > 0 {
+		classes := make([]string, 0, len(h.ByClass))
+		for class, n := range h.ByClass {
+			if class == FailUnknownTLD {
+				continue
+			}
+			classes = append(classes, fmt.Sprintf("%s:%d", class, n))
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(&sb, ", %d failed (%s)", len(h.Failures), strings.Join(classes, " "))
+	}
+	if n := len(h.SkippedUnknownTLD); n > 0 {
+		fmt.Fprintf(&sb, ", %d unknown-TLD skipped", n)
+	}
+	fmt.Fprintf(&sb, ", %d retries", h.Retries)
+	if h.Resweeps > 0 {
+		fmt.Fprintf(&sb, ", %d resweep(s)", h.Resweeps)
+	}
+	return sb.String()
+}
+
+// timeouter is the net.Error-style timeout marker implemented by transport
+// and fault errors.
+type timeouter interface{ Timeout() bool }
+
+// classifyErr buckets a transport error into a failure class.
+func classifyErr(err error) FailClass {
+	switch {
+	case errors.Is(err, dnsserver.ErrNoRoute):
+		return FailNoRoute
+	case errors.Is(err, context.DeadlineExceeded):
+		return FailTimeout
+	default:
+		var to timeouter
+		if errors.As(err, &to) && to.Timeout() {
+			return FailTimeout
+		}
+		return FailTransport
+	}
+}

@@ -7,7 +7,11 @@
 //
 // A worker pool issues the queries through a dnsserver.Exchanger, so scans
 // run identically against the in-memory simulation and against real
-// UDP/TCP servers.
+// UDP/TCP servers. The engine assumes an unhealthy network: every query
+// runs under a retry policy, the DNSKEY step fails over across all NS
+// hosts, failed targets get bounded re-sweep passes, and each ScanDay
+// returns a SweepHealth report accounting for everything it could not
+// measure.
 package scan
 
 import (
@@ -20,6 +24,7 @@ import (
 	"securepki.org/registrarsec/internal/dnssec"
 	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/retry"
 	"securepki.org/registrarsec/internal/simtime"
 	"securepki.org/registrarsec/internal/zone"
 )
@@ -40,11 +45,17 @@ type Config struct {
 	Workers int
 	// Clock anchors RRSIG validity checking.
 	Clock func() simtime.Day
+	// Retry is the per-query retry policy (zero value → retry.Default()).
+	Retry retry.Policy
+	// MaxResweeps bounds the re-sweep passes over failed targets at the
+	// end of a sweep (default 2; negative disables re-sweeping).
+	MaxResweeps int
 }
 
 // Scanner sweeps domain populations.
 type Scanner struct {
 	cfg     Config
+	rex     *dnsserver.RetryingExchanger
 	queries atomic.Int64
 	qid     atomic.Uint32
 }
@@ -63,18 +74,78 @@ func New(cfg Config) (*Scanner, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = func() simtime.Day { return simtime.End }
 	}
-	return &Scanner{cfg: cfg}, nil
+	switch {
+	case cfg.MaxResweeps == 0:
+		cfg.MaxResweeps = 2
+	case cfg.MaxResweeps < 0:
+		cfg.MaxResweeps = 0
+	}
+	// Lame rcodes and truncation are retried too: the in-memory transport
+	// has no TCP fallback, and a transient SERVFAIL should cost a retry,
+	// not a record.
+	rex := dnsserver.NewRetrying(cfg.Exchange, cfg.Retry,
+		dnsserver.RetryLame(), dnsserver.RetryTruncated())
+	return &Scanner{cfg: cfg, rex: rex}, nil
 }
 
-// Queries reports the total queries issued across all sweeps.
+// Queries reports the total logical queries issued across all sweeps
+// (retries of the same query are not double-counted).
 func (s *Scanner) Queries() int64 { return s.queries.Load() }
 
-// ScanDay sweeps the targets and returns the day's snapshot. Unregistered
-// domains (NXDOMAIN at the TLD) are omitted, as they are absent from zone
-// files.
-func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target) (*dataset.Snapshot, error) {
+// scanStatus is the outcome of one target's scan.
+type scanStatus int
+
+const (
+	statusMeasured scanStatus = iota
+	statusUnregistered
+	statusUnknownTLD
+	statusFailed
+)
+
+// ScanDay sweeps the targets and returns the day's snapshot together with
+// its health report. Unregistered domains (NXDOMAIN at the TLD) are
+// omitted from the snapshot, as they are absent from zone files; targets
+// that could not be measured appear as Failed placeholder records and are
+// itemized in the health report rather than silently dropped.
+func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target) (*dataset.Snapshot, *SweepHealth, error) {
 	snap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(targets))}
+	health := &SweepHealth{Day: day, Targets: len(targets), ByClass: make(map[FailClass]int)}
+	startRetries, startFailed := s.rex.Retries(), s.rex.Failures()
+	defer func() {
+		health.Measured = snap.MeasuredCount()
+		health.Retries = s.rex.Retries() - startRetries
+		health.FailedExchanges = s.rex.Failures() - startFailed
+	}()
+
+	pending := targets
+	var failures []Failure
+	for pass := 0; ; pass++ {
+		failures = s.sweep(ctx, snap, health, pending)
+		if err := ctx.Err(); err != nil {
+			s.recordFailures(snap, health, failures)
+			return snap, health, err
+		}
+		if len(failures) == 0 || pass >= s.cfg.MaxResweeps {
+			break
+		}
+		// Bounded re-sweep: give the failed targets a fresh pass — by now
+		// a transient outage may have cleared, and retried queries draw
+		// new network samples.
+		health.Resweeps++
+		pending = make([]Target, len(failures))
+		for i := range failures {
+			pending[i] = failures[i].Target
+		}
+	}
+	s.recordFailures(snap, health, failures)
+	return snap, health, nil
+}
+
+// sweep runs one worker-pool pass over the targets, appending measured
+// records to snap and returning the targets that failed.
+func (s *Scanner) sweep(ctx context.Context, snap *dataset.Snapshot, health *SweepHealth, targets []Target) []Failure {
 	var mu sync.Mutex
+	var failures []Failure
 	jobs := make(chan Target)
 	var wg sync.WaitGroup
 	for w := 0; w < s.cfg.Workers; w++ {
@@ -82,12 +153,19 @@ func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target
 		go func() {
 			defer wg.Done()
 			for t := range jobs {
-				rec, ok := s.scanOne(ctx, t)
-				if !ok {
-					continue
-				}
+				rec, status, fail := s.scanOne(ctx, t)
 				mu.Lock()
-				snap.Records = append(snap.Records, rec)
+				switch status {
+				case statusMeasured:
+					snap.Records = append(snap.Records, rec)
+				case statusUnregistered:
+					health.Unregistered++
+				case statusUnknownTLD:
+					health.SkippedUnknownTLD = append(health.SkippedUnknownTLD, t.Domain)
+					health.ByClass[FailUnknownTLD]++
+				case statusFailed:
+					failures = append(failures, *fail)
+				}
 				mu.Unlock()
 			}
 		}()
@@ -100,10 +178,21 @@ func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target
 	}
 	close(jobs)
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return snap, err
+	return failures
+}
+
+// recordFailures folds the final failures into the health report and the
+// snapshot (as Failed placeholder records carrying the failure class).
+func (s *Scanner) recordFailures(snap *dataset.Snapshot, health *SweepHealth, failures []Failure) {
+	for i := range failures {
+		f := &failures[i]
+		health.Failures = append(health.Failures, *f)
+		health.ByClass[f.Class]++
+		snap.Records = append(snap.Records, dataset.Record{
+			Domain: f.Target.Domain, TLD: f.Target.TLD,
+			Failed: true, FailReason: string(f.Class),
+		})
 	}
-	return snap, nil
 }
 
 // exchange sends one query, counting it.
@@ -111,20 +200,36 @@ func (s *Scanner) exchange(ctx context.Context, server string, name string, t dn
 	q := dnswire.NewQuery(uint16(s.qid.Add(1)), name, t)
 	q.SetEDNS(4096, true)
 	s.queries.Add(1)
-	return s.cfg.Exchange.Exchange(ctx, server, q)
+	return s.rex.Exchange(ctx, server, q)
+}
+
+// failTarget builds a Failure for one target.
+func failTarget(t Target, stage string, class FailClass, err error) *Failure {
+	f := &Failure{Target: t, Stage: stage, Class: class}
+	if err != nil {
+		f.Err = err.Error()
+	}
+	return f
 }
 
 // scanOne collects the four facts for one domain.
-func (s *Scanner) scanOne(ctx context.Context, t Target) (dataset.Record, bool) {
+func (s *Scanner) scanOne(ctx context.Context, t Target) (dataset.Record, scanStatus, *Failure) {
 	rec := dataset.Record{Domain: t.Domain, TLD: t.TLD}
 	tldServer, ok := s.cfg.TLDServers[t.TLD]
 	if !ok {
-		return rec, false
+		return rec, statusUnknownTLD, nil
 	}
 	// 1. NS from the TLD zone (a referral; the NS set rides in authority).
 	resp, err := s.exchange(ctx, tldServer, t.Domain, dnswire.TypeNS)
-	if err != nil || resp.RCode == dnswire.RCodeNameError {
-		return rec, false
+	if err != nil {
+		return rec, statusFailed, failTarget(t, "ns", classifyErr(err), err)
+	}
+	if resp.RCode == dnswire.RCodeNameError {
+		return rec, statusUnregistered, nil
+	}
+	if resp.RCode != dnswire.RCodeSuccess {
+		return rec, statusFailed, failTarget(t, "ns", FailLame,
+			fmt.Errorf("%v from TLD server %s", resp.RCode, tldServer))
 	}
 	for _, section := range [][]*dnswire.RR{resp.Authority, resp.Answers} {
 		for _, rr := range section {
@@ -134,30 +239,50 @@ func (s *Scanner) scanOne(ctx context.Context, t Target) (dataset.Record, bool) 
 		}
 	}
 	if len(rec.NSHosts) == 0 {
-		return rec, false
+		// Registered (no NXDOMAIN) but no delegation NS: a lame entry in
+		// the TLD zone — measurable domains always carry an NS RRset.
+		return rec, statusFailed, failTarget(t, "ns", FailNoNS, nil)
 	}
 	rec.Operator = dataset.GroupOperatorAll(rec.NSHosts)
 
 	// 2. DS from the TLD zone (answered authoritatively by the parent).
+	// A failure here would silently turn "partial" into "none", so it
+	// marks the whole target unmeasured.
 	var dss []*dnswire.DS
-	if resp, err := s.exchange(ctx, tldServer, t.Domain, dnswire.TypeDS); err == nil {
-		for _, rr := range resp.Answers {
-			if ds, ok := rr.Data.(*dnswire.DS); ok && rr.Name == t.Domain {
-				dss = append(dss, ds)
-				rec.HasDS = true
-			}
+	resp, err = s.exchange(ctx, tldServer, t.Domain, dnswire.TypeDS)
+	if err != nil {
+		return rec, statusFailed, failTarget(t, "ds", classifyErr(err), err)
+	}
+	if resp.RCode != dnswire.RCodeSuccess {
+		return rec, statusFailed, failTarget(t, "ds", FailLame,
+			fmt.Errorf("%v from TLD server %s", resp.RCode, tldServer))
+	}
+	for _, rr := range resp.Answers {
+		if ds, ok := rr.Data.(*dnswire.DS); ok && rr.Name == t.Domain {
+			dss = append(dss, ds)
+			rec.HasDS = true
 		}
 	}
 
-	// 3. DNSKEY (+RRSIG) from the domain's own nameservers.
+	// 3. DNSKEY (+RRSIG) from the domain's own nameservers. Every NS host
+	// is tried before the domain is declared keyless: a lame or dark
+	// first host must fail over, not misclassify.
 	var keys []*dnswire.DNSKEY
 	var keyRRs []*dnswire.RR
 	var sigs []*dnswire.RRSIG
+	responsive := false
+	var lastHostErr error
 	for _, host := range rec.NSHosts {
 		resp, err := s.exchange(ctx, host, t.Domain, dnswire.TypeDNSKEY)
-		if err != nil || resp.RCode != dnswire.RCodeSuccess {
+		if err != nil {
+			lastHostErr = err
 			continue
 		}
+		if resp.RCode != dnswire.RCodeSuccess {
+			lastHostErr = fmt.Errorf("%v from %s", resp.RCode, host)
+			continue
+		}
+		responsive = true
 		for _, rr := range resp.Answers {
 			switch d := rr.Data.(type) {
 			case *dnswire.DNSKEY:
@@ -169,7 +294,20 @@ func (s *Scanner) scanOne(ctx context.Context, t Target) (dataset.Record, bool) 
 				}
 			}
 		}
-		break
+		if len(keys) > 0 {
+			break
+		}
+		// A responsive host with no keys: ask the remaining hosts before
+		// concluding the domain is unsigned (the RRset may live on a
+		// sibling while this host is lame for the zone).
+		keyRRs, sigs = nil, nil
+	}
+	if !responsive {
+		class := FailTimeout
+		if lastHostErr != nil {
+			class = classifyErr(lastHostErr)
+		}
+		return rec, statusFailed, failTarget(t, "dnskey", class, lastHostErr)
 	}
 	rec.HasDNSKEY = len(keys) > 0
 	rec.HasRRSIG = len(sigs) > 0
@@ -186,7 +324,7 @@ func (s *Scanner) scanOne(ctx context.Context, t Target) (dataset.Record, bool) 
 			}
 		}
 	}
-	return rec, true
+	return rec, statusMeasured, nil
 }
 
 // TargetsFromZone extracts the second-level scan targets from a TLD zone

@@ -96,12 +96,18 @@ func newScanner(t *testing.T, eco *dnstest.Ecosystem, workers int) *scan.Scanner
 func TestScanClassifiesDeployments(t *testing.T) {
 	eco, targets := buildWorld(t)
 	s := newScanner(t, eco, 4)
-	snap, err := s.ScanDay(context.Background(), eco.Clock.Day(), targets)
+	snap, health, err := s.ScanDay(context.Background(), eco.Clock.Day(), targets)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(snap.Records) != 9 { // ghost.com skipped
 		t.Fatalf("records: %d", len(snap.Records))
+	}
+	if health.Measured != 9 || health.Unregistered != 1 || len(health.Failures) != 0 {
+		t.Fatalf("health: %s", health)
+	}
+	if health.Targets != len(targets) {
+		t.Errorf("health targets: %d, want %d", health.Targets, len(targets))
 	}
 	byDomain := map[string]*dataset.Record{}
 	for i := range snap.Records {
@@ -141,11 +147,11 @@ func TestScanClassifiesDeployments(t *testing.T) {
 
 func TestScanWorkerCountsAgree(t *testing.T) {
 	eco, targets := buildWorld(t)
-	base, err := newScanner(t, eco, 1).ScanDay(context.Background(), eco.Clock.Day(), targets)
+	base, _, err := newScanner(t, eco, 1).ScanDay(context.Background(), eco.Clock.Day(), targets)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := newScanner(t, eco, 16).ScanDay(context.Background(), eco.Clock.Day(), targets)
+	wide, _, err := newScanner(t, eco, 16).ScanDay(context.Background(), eco.Clock.Day(), targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +182,7 @@ func TestScanContextCancel(t *testing.T) {
 	s := newScanner(t, eco, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := s.ScanDay(ctx, eco.Clock.Day(), targets); err == nil {
+	if _, _, err := s.ScanDay(ctx, eco.Clock.Day(), targets); err == nil {
 		t.Error("cancelled scan reported success")
 	}
 }
@@ -251,7 +257,7 @@ func TestAXFRDrivenScan(t *testing.T) {
 		t.Fatalf("targets from AXFR: %d", len(targets))
 	}
 	s := newScanner(t, eco, 4)
-	snap, err := s.ScanDay(context.Background(), eco.Clock.Day(), targets)
+	snap, _, err := s.ScanDay(context.Background(), eco.Clock.Day(), targets)
 	if err != nil {
 		t.Fatal(err)
 	}

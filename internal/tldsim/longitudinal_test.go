@@ -56,7 +56,7 @@ func TestLongitudinalScanMatchesModelSeries(t *testing.T) {
 		for _, d := range w.Domains {
 			targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
 		}
-		snap, err := scanner.ScanDay(context.Background(), day, targets)
+		snap, _, err := scanner.ScanDay(context.Background(), day, targets)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -273,12 +273,15 @@ func TestMaterializedScanMatchesModel(t *testing.T) {
 	for _, d := range sample {
 		targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
 	}
-	snap, err := scanner.ScanDay(context.Background(), simtime.End, targets)
+	snap, health, err := scanner.ScanDay(context.Background(), simtime.End, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(snap.Records) != len(sample) {
 		t.Fatalf("scanned %d of %d", len(snap.Records), len(sample))
+	}
+	if !health.Complete() || health.Measured != len(sample) {
+		t.Fatalf("unhealthy sweep over a clean network: %s", health)
 	}
 	// Every scanned record must classify exactly as the model predicts:
 	// live measurement over real signed zones agrees with the state model.
@@ -380,7 +383,7 @@ func TestExpiredSignaturesScannedAsBroken(t *testing.T) {
 	for _, d := range w.Domains {
 		targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
 	}
-	live, err := scanner.ScanDay(context.Background(), simtime.End, targets)
+	live, _, err := scanner.ScanDay(context.Background(), simtime.End, targets)
 	if err != nil {
 		t.Fatal(err)
 	}

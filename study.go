@@ -24,7 +24,9 @@ import (
 	"securepki.org/registrarsec/internal/analysis"
 	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/ecosystem"
+	"securepki.org/registrarsec/internal/faultnet"
 	"securepki.org/registrarsec/internal/probe"
 	"securepki.org/registrarsec/internal/registrar"
 	"securepki.org/registrarsec/internal/registry"
@@ -53,6 +55,10 @@ type (
 	Day = simtime.Day
 	// SurveyRow is one Table 4 row.
 	SurveyRow = probe.SurveyRow
+	// SweepHealth is a scan sweep's failure-accounting report.
+	SweepHealth = scan.SweepHealth
+	// FaultRule declares injected transport faults for one server pattern.
+	FaultRule = faultnet.Rule
 	// Registrar is a live registrar agent.
 	Registrar = registrar.Registrar
 	// World is the generated domain population.
@@ -222,21 +228,34 @@ func (s *Study) Figure8(stepDays int) []SeriesPoint {
 
 // ScanSample materializes n sampled domains as real signed DNS at the given
 // day and measures them with the scan engine — the live-measurement
-// cross-check of the world model.
-func (s *Study) ScanSample(ctx context.Context, day Day, n int, workers int) (*Snapshot, error) {
+// cross-check of the world model. The returned SweepHealth accounts for
+// any target the sweep could not measure.
+func (s *Study) ScanSample(ctx context.Context, day Day, n int, workers int) (*Snapshot, *SweepHealth, error) {
+	return s.ScanSampleFaulty(ctx, day, n, workers, 0, nil)
+}
+
+// ScanSampleFaulty is ScanSample under injected transport faults: the
+// materialized network is wrapped in a faultnet.Injector driven by the
+// seed and rules, so resilience experiments run through the public facade.
+// With no rules it degrades to a clean scan.
+func (s *Study) ScanSampleFaulty(ctx context.Context, day Day, n int, workers int, faultSeed int64, rules []faultnet.Rule) (*Snapshot, *SweepHealth, error) {
 	sample := s.World.Sample(n, int64(day))
 	mat, err := tldsim.Materialize(day, sample)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var exchange dnsserver.Exchanger = mat.Net
+	if len(rules) > 0 {
+		exchange = faultnet.New(mat.Net, faultSeed, func() simtime.Day { return day }, rules...)
 	}
 	scanner, err := scan.New(scan.Config{
-		Exchange:   mat.Net,
+		Exchange:   exchange,
 		TLDServers: mat.TLDServers,
 		Workers:    workers,
 		Clock:      func() simtime.Day { return day },
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	targets := make([]scan.Target, 0, len(sample))
 	for _, d := range sample {

@@ -104,12 +104,15 @@ func TestStudyProbeCampaigns(t *testing.T) {
 
 func TestStudyScanSampleAgreesWithModel(t *testing.T) {
 	s := testStudy(t)
-	snap, err := s.ScanSample(context.Background(), simtime.End, 120, 8)
+	snap, health, err := s.ScanSample(context.Background(), simtime.End, 120, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(snap.Records) != 120 {
 		t.Fatalf("scanned %d records", len(snap.Records))
+	}
+	if !health.Complete() || health.Measured != 120 {
+		t.Fatalf("unhealthy sweep over a clean network: %s", health)
 	}
 	model := s.World.SnapshotAt(simtime.End)
 	modelClass := map[string]Deployment{}
