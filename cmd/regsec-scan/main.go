@@ -7,23 +7,35 @@
 //
 //	regsec-scan [-scale 2000] [-seed 1] [-days 2016-06-01,2016-12-31] [-sample 1000] [-workers 16] [-o archive.tsv]
 //	            [-retries 3] [-resweeps 2] [-fault-frac 0.5] [-fault-loss 0.2] [-fault-seed 1]
+//	            [-checkpoint-dir state/] [-resume] [-shards 4]
 //
-// With -o the snapshots are written in the dataset TSV archive format that
-// regsec-report -archive can analyze; otherwise records go to stdout. The
-// -fault-* flags wrap the materialized network in the fault injector,
-// making a configured fraction of DNS operators lossy — a resilience drill
-// for the scan path; each day's sweep-health report goes to stderr.
+// With -o the snapshots are written as a checksummed TSV archive (each
+// day's section carries a length+CRC trailer) that regsec-report -archive
+// can analyze and salvage; otherwise records go to stdout. The -fault-*
+// flags wrap the materialized network in the fault injector, making a
+// configured fraction of DNS operators lossy — a resilience drill for the
+// scan path; each day's sweep-health report goes to stderr.
+//
+// Long sweeps are crash-safe when -checkpoint-dir is set: every completed
+// shard is durably checkpointed, and SIGINT/SIGTERM drains the in-flight
+// shard's workers and flushes the checkpoint before exiting. Re-running
+// with -resume picks up from the last completed shard — finished work is
+// verified by checksum, not re-scanned — and the final archive is
+// byte-identical to an uninterrupted run.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/checkpoint"
 	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/faultnet"
 	"securepki.org/registrarsec/internal/retry"
@@ -38,12 +50,15 @@ func main() {
 	daysStr := flag.String("days", "2016-12-31", "comma-separated measurement days (YYYY-MM-DD)")
 	sample := flag.Int("sample", 1000, "domains to materialize and scan")
 	workers := flag.Int("workers", 16, "scan concurrency")
-	outPath := flag.String("o", "", "write a TSV snapshot archive instead of stdout records")
+	outPath := flag.String("o", "", "write a checksummed TSV snapshot archive instead of stdout records")
 	retries := flag.Int("retries", 3, "per-query attempt budget")
 	resweeps := flag.Int("resweeps", 2, "re-sweep passes over failed targets (-1 disables)")
 	faultFrac := flag.Float64("fault-frac", 0, "fraction of DNS operators made faulty (0 disables injection)")
 	faultLoss := flag.Float64("fault-loss", 0.2, "packet-loss probability on faulty operators")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
+	cpDir := flag.String("checkpoint-dir", "", "directory for durable sweep checkpoints (enables crash-safe resume)")
+	resume := flag.Bool("resume", false, "continue from an existing checkpoint in -checkpoint-dir")
+	shards := flag.Int("shards", 4, "checkpoint units per day (granularity of resume)")
 	flag.Parse()
 
 	var days []simtime.Day
@@ -55,6 +70,28 @@ func main() {
 		}
 		days = append(days, day)
 	}
+	if *resume && *cpDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+
+	var cp *checkpoint.Store
+	if *cpDir != "" {
+		var err error
+		cp, err = checkpoint.Open(*cpDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if cp.Exists() && !*resume {
+			fmt.Fprintf(os.Stderr, "checkpoint already present in %s: pass -resume to continue it, or remove the directory to start over\n", *cpDir)
+			os.Exit(2)
+		}
+		if !cp.Exists() && *resume {
+			fmt.Fprintf(os.Stderr, "no checkpoint in %s; starting a fresh sweep\n", *cpDir)
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "building world (scale 1/%.0f, seed %d)...\n", *scaleDiv, *seed)
 	world, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / *scaleDiv, Seed: *seed})
 	if err != nil {
@@ -62,16 +99,23 @@ func main() {
 		os.Exit(1)
 	}
 	domains := world.Sample(*sample, *seed)
-	store := dataset.NewStore()
-	start := time.Now()
-	var queries int64
-	for _, day := range days {
-		day := day
+	targets := make([]scan.Target, 0, len(domains))
+	for _, d := range domains {
+		targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
+	}
+
+	// The fingerprint binds a checkpoint to everything that shapes the
+	// sweep's output, so a stale or mismatched checkpoint is refused
+	// instead of silently mixed into a different configuration.
+	fingerprint := fmt.Sprintf("scale=%g seed=%d days=%s sample=%d shards=%d faults=%g/%g/%d retries=%d resweeps=%d",
+		*scaleDiv, *seed, *daysStr, *sample, *shards, *faultFrac, *faultLoss, *faultSeed, *retries, *resweeps)
+
+	var scanners []*scan.Scanner
+	setup := func(ctx context.Context, day simtime.Day) (*scan.Scanner, []scan.Target, error) {
 		fmt.Fprintf(os.Stderr, "materializing %d domains at %s (real keys, real signatures)...\n", len(domains), day)
 		mat, err := tldsim.Materialize(day, domains)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return nil, nil, err
 		}
 		var exchange dnsserver.Exchanger = mat.Net
 		if *faultFrac > 0 {
@@ -88,34 +132,46 @@ func main() {
 			MaxResweeps: *resweeps,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return nil, nil, err
 		}
-		targets := make([]scan.Target, 0, len(domains))
-		for _, d := range domains {
-			targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
+		scanners = append(scanners, scanner)
+		return scanner, targets, nil
+	}
+
+	// SIGINT/SIGTERM cancel the sweep context: workers drain, the partial
+	// shard is discarded, and the checkpoint is flushed before we exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	rs := &scan.ResumableSweep{
+		Checkpoint:  cp,
+		Fingerprint: fingerprint,
+		Shards:      *shards,
+		Setup:       setup,
+		OnDayHealth: func(day simtime.Day, h *scan.SweepHealth) {
+			fmt.Fprintln(os.Stderr, h)
+		},
+		OnEvent: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	store, err := rs.Run(ctx, days)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && cp != nil {
+			fmt.Fprintf(os.Stderr, "interrupted; checkpoint saved in %s — re-run with -resume to continue\n", *cpDir)
+			os.Exit(130)
 		}
-		snap, health, err := scanner.ScanDay(context.Background(), day, targets)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, health)
-		store.Add(snap)
-		queries += scanner.Queries()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var queries int64
+	for _, s := range scanners {
+		queries += s.Queries()
 	}
 
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := store.WriteTSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
+		if err := store.WriteArchiveFile(*outPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -134,6 +190,12 @@ func main() {
 					r.Domain, r.TLD, r.Operator, strings.Join(r.NSHosts, ","),
 					r.HasDNSKEY, r.HasRRSIG, r.HasDS, r.ChainValid, class)
 			}
+		}
+	}
+	// The archive is safely on disk; the checkpoint has served its purpose.
+	if cp != nil {
+		if err := cp.Clear(); err != nil {
+			fmt.Fprintf(os.Stderr, "clearing checkpoint: %v\n", err)
 		}
 	}
 	total := 0

@@ -4,18 +4,23 @@
 //
 // Usage:
 //
-//	regsec-server -origin example.com -zone example.zone -addr 127.0.0.1:5300 -sign
+//	regsec-server -origin example.com -zone example.zone -addr 127.0.0.1:5300 -sign [-drain 5s]
 //
-// With no -zone argument a small demonstration zone is generated.
+// With no -zone argument a small demonstration zone is generated. On
+// SIGINT/SIGTERM the server drains: in-flight queries get their answers,
+// new ones are refused, and after the -drain deadline any stragglers are
+// cut off.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"securepki.org/registrarsec/internal/dnsserver"
@@ -30,6 +35,7 @@ func main() {
 	sign := flag.Bool("sign", false, "DNSSEC-sign the zone on load")
 	nsec := flag.Bool("nsec", false, "add an NSEC chain when signing")
 	algName := flag.String("alg", "ed25519", "signing algorithm: rsa, ecdsa, ed25519")
+	drain := flag.Duration("drain", 5*time.Second, "grace period for in-flight queries on shutdown")
 	flag.Parse()
 
 	z, err := loadZone(*zonePath, *origin)
@@ -73,10 +79,18 @@ func main() {
 	}
 	fmt.Printf("serving %s (%d records) on %s (udp+tcp)\n", present(z.Origin), z.Len(), srv.Addr())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	srv.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+
+	fmt.Fprintf(os.Stderr, "shutting down: draining in-flight queries (up to %v)...\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain deadline hit; %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "all in-flight queries answered; bye")
 }
 
 func loadZone(path, origin string) (*zone.Zone, error) {

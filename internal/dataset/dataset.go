@@ -59,6 +59,21 @@ type Snapshot struct {
 	Records []Record
 }
 
+// Canonicalize sorts the records into the deterministic archive order (by
+// TLD, then domain). Scan sweeps append records in worker-completion
+// order; canonicalizing before archiving makes two runs over the same
+// targets produce byte-identical archives — the property the
+// checkpoint/resume path's integrity checks rely on.
+func (s *Snapshot) Canonicalize() {
+	sort.Slice(s.Records, func(i, j int) bool {
+		a, b := &s.Records[i], &s.Records[j]
+		if a.TLD != b.TLD {
+			return a.TLD < b.TLD
+		}
+		return a.Domain < b.Domain
+	})
+}
+
 // MeasuredCount returns how many records carry real observations.
 func (s *Snapshot) MeasuredCount() int {
 	n := 0

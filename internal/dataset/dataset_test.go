@@ -155,6 +155,64 @@ func TestTSVFailedRecordRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTSVEmptyNSHostsRoundTrip(t *testing.T) {
+	// strings.Join(nil, ",") writes an empty NS field; it must come back
+	// as no NS hosts, never as [""].
+	store := NewStore()
+	store.Add(&Snapshot{Day: simtime.Date(2016, 1, 1), Records: []Record{
+		{Domain: "lame.com", TLD: "com", Operator: ""},
+		{Domain: "gap.com", TLD: "com", Failed: true, FailReason: "timeout"},
+		{Domain: "ok.com", TLD: "com", Operator: "op.net", NSHosts: []string{"ns1.op.net"}},
+	}})
+	var buf bytes.Buffer
+	if err := store.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := got.Get(simtime.Date(2016, 1, 1)).Records
+	for _, i := range []int{0, 1} {
+		if n := len(recs[i].NSHosts); n != 0 {
+			t.Errorf("%s: NSHosts = %q, want none", recs[i].Domain, recs[i].NSHosts)
+		}
+		if recs[i].NSHosts != nil {
+			t.Errorf("%s: empty NS field parsed as %#v, want nil", recs[i].Domain, recs[i].NSHosts)
+		}
+	}
+	if len(recs[2].NSHosts) != 1 {
+		t.Errorf("ok.com: NSHosts = %q", recs[2].NSHosts)
+	}
+}
+
+func TestReadTSVRecordCountMismatch(t *testing.T) {
+	// The header declares 2 records but only 1 survives — a torn write
+	// must be an error, not a silently shorter day.
+	torn := "#snapshot\t2016-01-01\t2\na.com\tcom\top\tns1.op.net\ttrue\ttrue\ttrue\ttrue\tok\n"
+	if _, err := ReadTSV(strings.NewReader(torn)); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	// A headerless count (hand-written archive) is still tolerated.
+	loose := "#snapshot\t2016-01-01\na.com\tcom\top\tns1.op.net\ttrue\ttrue\ttrue\ttrue\tok\n"
+	if _, err := ReadTSV(strings.NewReader(loose)); err != nil {
+		t.Errorf("countless header rejected: %v", err)
+	}
+	// Mismatch on the final section (EOF close) is caught too.
+	tail := "#snapshot\t2016-01-01\t1\na.com\tcom\top\t\ttrue\ttrue\ttrue\ttrue\tok\n#snapshot\t2016-06-01\t3\n"
+	if _, err := ReadTSV(strings.NewReader(tail)); err == nil {
+		t.Error("trailing count mismatch accepted")
+	}
+}
+
+func TestReadTSVDuplicateDayRejected(t *testing.T) {
+	rec := "a.com\tcom\top\tns1.op.net\ttrue\ttrue\ttrue\ttrue\tok\n"
+	dup := "#snapshot\t2016-01-01\t1\n" + rec + "#snapshot\t2016-01-01\t1\n" + rec
+	if _, err := ReadTSV(strings.NewReader(dup)); err == nil {
+		t.Error("duplicate snapshot day accepted")
+	}
+}
+
 func TestReadTSVErrors(t *testing.T) {
 	cases := []string{
 		"a.com\tcom\top\tns\ttrue\ttrue\ttrue\ttrue\n", // record before header

@@ -26,11 +26,13 @@ type Server struct {
 	// ReadTimeout bounds TCP connection reads (default 5s).
 	ReadTimeout time.Duration
 
-	mu     sync.Mutex
-	pc     net.PacketConn
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed bool
+	mu       sync.Mutex
+	pc       net.PacketConn
+	ln       net.Listener
+	wg       sync.WaitGroup
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
 }
 
 // ListenAndServe binds UDP and TCP on addr ("127.0.0.1:0" for an ephemeral
@@ -73,11 +75,15 @@ func (s *Server) Addr() string {
 	return s.pc.LocalAddr().String()
 }
 
-// Close stops the listeners and waits for in-flight handlers.
+// Close stops the listeners, severs open connections, and waits for
+// in-flight handlers. For an orderly stop that lets in-flight queries
+// finish and deliver their responses, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	s.draining = true
 	pc, ln := s.pc, s.ln
+	conns := s.snapshotConnsLocked()
 	s.mu.Unlock()
 	if pc != nil {
 		pc.Close()
@@ -85,8 +91,97 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return nil
+}
+
+// Shutdown gracefully stops the server: it stops accepting new queries,
+// lets in-flight handlers finish and write their responses, then closes
+// the sockets. If ctx expires before the drain completes, remaining
+// connections are severed and ctx's error is returned; a nil return
+// means every in-flight query was answered.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	pc, ln := s.pc, s.ln
+	conns := s.snapshotConnsLocked()
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if pc != nil {
+		// Stop the UDP read loop without closing the socket: in-flight
+		// handlers still need it to write their responses.
+		pc.SetReadDeadline(time.Now())
+	}
+	// Wake idle TCP readers so their goroutines observe the drain; a
+	// handler mid-query is unaffected (only the read side is expired)
+	// and still delivers its response before the connection closes.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		conns = s.snapshotConnsLocked()
+		s.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	if pc != nil {
+		pc.Close()
+	}
+	return err
+}
+
+// snapshotConnsLocked copies the tracked TCP connections; s.mu must be held.
+func (s *Server) snapshotConnsLocked() []net.Conn {
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	return conns
+}
+
+// trackConn registers a TCP connection for shutdown bookkeeping. It
+// reports false when the server is already draining, in which case the
+// connection must be dropped rather than served.
+func (s *Server) trackConn(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 func (s *Server) logger() *slog.Logger {
@@ -151,11 +246,18 @@ func (s *Server) serveTCP(ln net.Listener) {
 		go func(conn net.Conn) {
 			defer s.wg.Done()
 			defer conn.Close()
+			if !s.trackConn(conn) {
+				return
+			}
+			defer s.untrackConn(conn)
 			timeout := s.ReadTimeout
 			if timeout == 0 {
 				timeout = 5 * time.Second
 			}
 			for {
+				if s.isDraining() {
+					return
+				}
 				conn.SetReadDeadline(time.Now().Add(timeout))
 				msg, err := readTCPMessage(conn)
 				if err != nil {

@@ -29,6 +29,11 @@ const (
 	// FailUnknownTLD is a target under a TLD with no configured server —
 	// a sweep configuration gap, distinct from NXDOMAIN.
 	FailUnknownTLD FailClass = "unknown-tld"
+	// FailCancelled is a target the sweep abandoned because its context
+	// was cancelled — a SIGINT, a shutdown, or an upstream deadline. It is
+	// a distinct class so resumed sweeps and health dashboards can tell
+	// "the operator stopped the run" from "the network lost the target".
+	FailCancelled FailClass = "cancelled"
 )
 
 // Failure is one target the sweep could not measure, after all retries and
@@ -80,6 +85,34 @@ func (h *SweepHealth) Complete() bool {
 	return len(h.Failures) == 0 && len(h.SkippedUnknownTLD) == 0
 }
 
+// Cancelled reports how many targets were abandoned to context
+// cancellation rather than lost to the network.
+func (h *SweepHealth) Cancelled() int {
+	return h.ByClass[FailCancelled]
+}
+
+// Merge folds another report into h — used to aggregate per-shard health
+// into one per-day report in checkpointed sweeps.
+func (h *SweepHealth) Merge(o *SweepHealth) {
+	if o == nil {
+		return
+	}
+	if h.ByClass == nil {
+		h.ByClass = make(map[FailClass]int)
+	}
+	h.Targets += o.Targets
+	h.Measured += o.Measured
+	h.Unregistered += o.Unregistered
+	h.SkippedUnknownTLD = append(h.SkippedUnknownTLD, o.SkippedUnknownTLD...)
+	h.Failures = append(h.Failures, o.Failures...)
+	for class, n := range o.ByClass {
+		h.ByClass[class] += n
+	}
+	h.Retries += o.Retries
+	h.FailedExchanges += o.FailedExchanges
+	h.Resweeps += o.Resweeps
+}
+
 // FailureRate is the fraction of targets that could not be measured.
 func (h *SweepHealth) FailureRate() float64 {
 	if h.Targets == 0 {
@@ -121,6 +154,8 @@ type timeouter interface{ Timeout() bool }
 // classifyErr buckets a transport error into a failure class.
 func classifyErr(err error) FailClass {
 	switch {
+	case errors.Is(err, context.Canceled):
+		return FailCancelled
 	case errors.Is(err, dnsserver.ErrNoRoute):
 		return FailNoRoute
 	case errors.Is(err, context.DeadlineExceeded):

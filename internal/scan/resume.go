@@ -1,0 +1,263 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+
+	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// DaySetup materializes the scanning environment for one day: the scanner
+// and the day's target population. It is called lazily — a resumed day
+// whose every shard verifies from the checkpoint never pays for a setup.
+type DaySetup func(ctx context.Context, day simtime.Day) (*Scanner, []Target, error)
+
+// ResumableSweep drives a multi-day sweep in checkpointable shards. Each
+// day's targets are split into a fixed number of shards; every completed
+// shard is durably written to the checkpoint directory before the next
+// one starts, so an interruption — SIGINT, crash, kill — loses at most
+// the shard in flight. A re-run with the same configuration resumes from
+// the last completed shard: finished days are verified by checksum
+// instead of re-scanned, damaged or missing shards are re-scanned, and
+// the in-flight shard of the interrupted run is re-done from scratch
+// (partial shards are discarded, never persisted), which keeps the final
+// archive byte-identical to an uninterrupted run.
+type ResumableSweep struct {
+	// Checkpoint persists progress; nil runs the sweep without durability
+	// (still sharded and canonicalized, so output bytes are identical).
+	Checkpoint *checkpoint.Store
+	// Fingerprint identifies the sweep configuration. A checkpoint written
+	// under a different fingerprint is refused rather than mixed in.
+	Fingerprint string
+	// Shards is the number of checkpoint units per day (default 4).
+	Shards int
+	// Setup builds the scanner and targets for one day.
+	Setup DaySetup
+	// OnDayHealth, when set, receives each day's aggregated health report.
+	OnDayHealth func(day simtime.Day, h *SweepHealth)
+	// OnEvent, when set, receives progress lines (resume skips, shard
+	// completions, damage re-scans).
+	OnEvent func(format string, args ...any)
+}
+
+// event emits a progress line if a sink is attached.
+func (rs *ResumableSweep) event(format string, args ...any) {
+	if rs.OnEvent != nil {
+		rs.OnEvent(format, args...)
+	}
+}
+
+// shards returns the effective shard count.
+func (rs *ResumableSweep) shards() int {
+	if rs.Shards <= 0 {
+		return 4
+	}
+	return rs.Shards
+}
+
+// shardSplit partitions targets into n contiguous shards (the first
+// len(targets)%n shards get one extra element). The split is a pure
+// function of the target list, so an interrupted run and its resume agree
+// on every shard boundary.
+func shardSplit(targets []Target, n int) [][]Target {
+	if n > len(targets) && len(targets) > 0 {
+		n = len(targets)
+	}
+	if n <= 0 {
+		n = 1
+	}
+	parts := make([][]Target, 0, n)
+	size, rem := len(targets)/n, len(targets)%n
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		parts = append(parts, targets[start:end])
+		start = end
+	}
+	return parts
+}
+
+// Run executes the sweep over days, returning the archived store. On
+// context cancellation it persists a clean checkpoint (every finished
+// shard recorded, the interrupted shard dropped) and returns the partial
+// store together with the context's error; re-running Run with the same
+// configuration picks up from there.
+func (rs *ResumableSweep) Run(ctx context.Context, days []simtime.Day) (*dataset.Store, error) {
+	if rs.Setup == nil {
+		return nil, fmt.Errorf("scan: ResumableSweep requires a Setup function")
+	}
+	var st *checkpoint.State
+	if rs.Checkpoint != nil {
+		loaded, err := rs.Checkpoint.Load()
+		if err != nil {
+			return nil, err
+		}
+		if loaded != nil {
+			if loaded.Fingerprint != rs.Fingerprint {
+				return nil, fmt.Errorf("scan: checkpoint in %s belongs to a different sweep (fingerprint %q, this run %q)",
+					rs.Checkpoint.Dir(), loaded.Fingerprint, rs.Fingerprint)
+			}
+			st = loaded
+		}
+	}
+	if st == nil {
+		st = checkpoint.NewState(rs.Fingerprint)
+	}
+	store := dataset.NewStore()
+	for _, day := range days {
+		snap, err := rs.runDay(ctx, day, st)
+		if snap != nil {
+			store.Add(snap)
+		}
+		if err != nil {
+			return store, err
+		}
+	}
+	return store, nil
+}
+
+// saveState persists the checkpoint state if checkpointing is on.
+func (rs *ResumableSweep) saveState(st *checkpoint.State) error {
+	if rs.Checkpoint == nil {
+		return nil
+	}
+	return rs.Checkpoint.Save(st)
+}
+
+// runDay completes one day: verified shards load from the checkpoint,
+// everything else is scanned shard by shard with a durable checkpoint
+// after each.
+func (rs *ResumableSweep) runDay(ctx context.Context, day simtime.Day, st *checkpoint.State) (*dataset.Snapshot, error) {
+	nShards := rs.shards()
+	dp := st.Day(day)
+
+	// Fast path: the whole day is checkpointed — verify every shard by
+	// checksum and skip the scan (and the day's setup) entirely.
+	if dp.Done && rs.Checkpoint != nil {
+		if snap, ok := rs.loadDoneDay(day, dp); ok {
+			rs.event("resume: day %s verified from checkpoint (%d records), skipping scan", day, len(snap.Records))
+			return snap, nil
+		}
+		// Some shard is damaged or missing: demote the day and fall
+		// through to re-scan exactly the broken shards.
+		dp.Done = false
+		if err := rs.saveState(st); err != nil {
+			return nil, err
+		}
+	}
+
+	scanner, targets, err := rs.Setup(ctx, day)
+	if err != nil {
+		return nil, err
+	}
+	parts := shardSplit(targets, nShards)
+	daySnap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(targets))}
+	dayHealth := &SweepHealth{Day: day, Targets: 0, ByClass: make(map[FailClass]int)}
+
+	for k, part := range parts {
+		if meta := dp.Shards[k]; meta != nil && rs.Checkpoint != nil {
+			snap, err := rs.Checkpoint.LoadShard(day, k, meta)
+			if err == nil {
+				rs.event("resume: day %s shard %d/%d verified from checkpoint (%d records)", day, k+1, len(parts), len(snap.Records))
+				daySnap.Records = append(daySnap.Records, snap.Records...)
+				dayHealth.Merge(healthFromSnapshot(day, len(part), snap))
+				continue
+			}
+			rs.event("resume: day %s shard %d/%d damaged (%v), re-scanning", day, k+1, len(parts), err)
+			delete(dp.Shards, k)
+		}
+
+		snap, health, scanErr := scanner.ScanDay(ctx, day, part)
+		dayHealth.Merge(health)
+		if scanErr != nil {
+			// Interrupted mid-shard: drop the partial shard, persist what
+			// is already complete, and hand the caller a clean resume
+			// point.
+			if saveErr := rs.saveState(st); saveErr != nil {
+				return nil, fmt.Errorf("scan: %w (and checkpoint save failed: %v)", scanErr, saveErr)
+			}
+			if rs.OnDayHealth != nil {
+				rs.OnDayHealth(day, dayHealth)
+			}
+			return nil, scanErr
+		}
+		snap.Canonicalize()
+		if rs.Checkpoint != nil {
+			meta, err := rs.Checkpoint.WriteShard(day, k, snap)
+			if err != nil {
+				return nil, err
+			}
+			dp.Shards[k] = meta
+			if err := rs.saveState(st); err != nil {
+				return nil, err
+			}
+		}
+		daySnap.Records = append(daySnap.Records, snap.Records...)
+	}
+
+	dp.Done = true
+	if err := rs.saveState(st); err != nil {
+		return nil, err
+	}
+	if rs.OnDayHealth != nil {
+		rs.OnDayHealth(day, dayHealth)
+	}
+	return daySnap, nil
+}
+
+// loadDoneDay assembles a completed day from its checkpointed shards,
+// verifying each; ok is false if any shard fails verification (the
+// damaged entries are removed so the caller re-scans just those).
+func (rs *ResumableSweep) loadDoneDay(day simtime.Day, dp *checkpoint.DayProgress) (*dataset.Snapshot, bool) {
+	nShards := len(dp.Shards)
+	snap := &dataset.Snapshot{Day: day}
+	for k := 0; k < nShards; k++ {
+		meta := dp.Shards[k]
+		if meta == nil {
+			rs.event("resume: day %s shard %d missing from checkpoint state", day, k)
+			return nil, false
+		}
+		part, err := rs.Checkpoint.LoadShard(day, k, meta)
+		if err != nil {
+			rs.event("resume: day %s shard %d failed verification (%v)", day, k, err)
+			delete(dp.Shards, k)
+			return nil, false
+		}
+		snap.Records = append(snap.Records, part.Records...)
+	}
+	return snap, true
+}
+
+// healthFromSnapshot reconstructs approximate health accounting for a
+// shard restored from the checkpoint: measured and failed records are
+// exact (they are in the snapshot); targets absent from the snapshot were
+// unregistered or unknown-TLD at scan time and are folded into
+// Unregistered, since the checkpoint does not persist that distinction.
+func healthFromSnapshot(day simtime.Day, shardTargets int, snap *dataset.Snapshot) *SweepHealth {
+	h := &SweepHealth{Day: day, Targets: shardTargets, ByClass: make(map[FailClass]int)}
+	h.Measured = snap.MeasuredCount()
+	for i := range snap.Records {
+		r := &snap.Records[i]
+		if !r.Failed {
+			continue
+		}
+		class := FailClass(r.FailReason)
+		if class == "" {
+			class = FailTransport
+		}
+		h.Failures = append(h.Failures, Failure{
+			Target: Target{Domain: r.Domain, TLD: r.TLD},
+			Stage:  "checkpoint", Class: class,
+		})
+		h.ByClass[class]++
+	}
+	if absent := shardTargets - len(snap.Records); absent > 0 {
+		h.Unregistered = absent
+	}
+	return h
+}

@@ -1,0 +1,244 @@
+package scan_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/scan"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// cancelAtExchanger cancels the context when the Nth exchange begins, then
+// lets the exchange itself fail on the dead context — a deterministic kill
+// point mid-sweep.
+type cancelAtExchanger struct {
+	inner  dnsserver.Exchanger
+	cancel context.CancelFunc
+	at     int64
+	n      atomic.Int64
+}
+
+func (e *cancelAtExchanger) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	if e.n.Add(1) == e.at {
+		e.cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.inner.Exchange(ctx, server, q)
+}
+
+// sweepSetup returns a DaySetup over the fixed in-memory world, optionally
+// wrapping the exchanger.
+func sweepSetup(t *testing.T, eco *dnstest.Ecosystem, targets []scan.Target, wrap func(dnsserver.Exchanger) dnsserver.Exchanger) scan.DaySetup {
+	return func(ctx context.Context, day simtime.Day) (*scan.Scanner, []scan.Target, error) {
+		var ex dnsserver.Exchanger = eco.Net
+		if wrap != nil {
+			ex = wrap(ex)
+		}
+		s, err := scan.New(scan.Config{
+			Exchange: ex,
+			TLDServers: map[string]string{
+				"com": dnstest.TLDServerAddr("com"),
+				"nl":  dnstest.TLDServerAddr("nl"),
+			},
+			Workers: 3,
+			Clock:   eco.Clock.Day,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, targets, nil
+	}
+}
+
+func TestResumableSweepKillResume(t *testing.T) {
+	eco, targets := buildWorld(t)
+	days := []simtime.Day{eco.Clock.Day(), eco.Clock.Day() + 1}
+
+	// Reference: an uninterrupted, checkpoint-less run.
+	clean := &scan.ResumableSweep{Shards: 3, Setup: sweepSetup(t, eco, targets, nil)}
+	cleanStore, err := clean.Run(context.Background(), days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := cleanStore.WriteArchive(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: the kill lands mid-sweep, after the first day's
+	// worth of queries — deep enough that at least one shard completed.
+	dir := t.TempDir()
+	cp, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killAt := int64(1)
+	// Count a clean run's exchanges to place the kill around 60% in.
+	counter := &cancelAtExchanger{inner: eco.Net, at: -1}
+	probe := &scan.ResumableSweep{Shards: 3, Setup: func(c context.Context, d simtime.Day) (*scan.Scanner, []scan.Target, error) {
+		return sweepSetup(t, eco, targets, func(ex dnsserver.Exchanger) dnsserver.Exchanger {
+			counter.inner = ex
+			return counter
+		})(c, d)
+	}}
+	if _, err := probe.Run(context.Background(), []simtime.Day{days[0]}); err != nil {
+		t.Fatal(err)
+	}
+	killAt = counter.n.Load() * 6 / 10
+	if killAt < 2 {
+		killAt = 2
+	}
+
+	killer := &cancelAtExchanger{cancel: cancel, at: killAt}
+	var events []string
+	interrupted := &scan.ResumableSweep{
+		Checkpoint:  cp,
+		Fingerprint: "drill-v1",
+		Shards:      3,
+		Setup: sweepSetup(t, eco, targets, func(ex dnsserver.Exchanger) dnsserver.Exchanger {
+			killer.inner = ex
+			return killer
+		}),
+		OnEvent: func(f string, a ...any) { events = append(events, f) },
+	}
+	if _, err := interrupted.Run(ctx, days); err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if !cp.Exists() {
+		t.Fatal("no checkpoint persisted by the interrupted run")
+	}
+
+	// Resume with a fresh context and no fault: must complete and produce
+	// a byte-identical archive.
+	resumed := &scan.ResumableSweep{
+		Checkpoint:  cp,
+		Fingerprint: "drill-v1",
+		Shards:      3,
+		Setup:       sweepSetup(t, eco, targets, nil),
+		OnEvent:     func(f string, a ...any) { events = append(events, f) },
+	}
+	resumedStore, err := resumed.Run(context.Background(), days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := resumedStore.WriteArchive(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Errorf("resumed archive differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want.String(), got.String())
+	}
+
+	// A second resume verifies everything from checksum without scanning.
+	again, err := resumed.Run(context.Background(), days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt bytes.Buffer
+	if err := again.WriteArchive(&rebuilt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), rebuilt.Bytes()) {
+		t.Error("checksum-verified reload diverges from the scan")
+	}
+	verified := false
+	for _, e := range events {
+		if strings.Contains(e, "verified from checkpoint") {
+			verified = true
+		}
+	}
+	if !verified {
+		t.Errorf("no checkpoint verification events in %q", events)
+	}
+}
+
+func TestResumableSweepFingerprintGuard(t *testing.T) {
+	eco, targets := buildWorld(t)
+	day := eco.Clock.Day()
+	dir := t.TempDir()
+	cp, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &scan.ResumableSweep{Checkpoint: cp, Fingerprint: "cfg-a", Shards: 2,
+		Setup: sweepSetup(t, eco, targets, nil)}
+	if _, err := first.Run(context.Background(), []simtime.Day{day}); err != nil {
+		t.Fatal(err)
+	}
+	other := &scan.ResumableSweep{Checkpoint: cp, Fingerprint: "cfg-b", Shards: 2,
+		Setup: sweepSetup(t, eco, targets, nil)}
+	if _, err := other.Run(context.Background(), []simtime.Day{day}); err == nil ||
+		!strings.Contains(err.Error(), "different sweep") {
+		t.Errorf("foreign checkpoint accepted: %v", err)
+	}
+}
+
+func TestResumableSweepDamagedShardRescanned(t *testing.T) {
+	eco, targets := buildWorld(t)
+	day := eco.Clock.Day()
+	dir := t.TempDir()
+	cp, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &scan.ResumableSweep{Checkpoint: cp, Fingerprint: "cfg", Shards: 2,
+		Setup: sweepSetup(t, eco, targets, nil)}
+	store, err := rs.Run(context.Background(), []simtime.Day{day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := store.WriteArchive(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-flip one shard file at rest.
+	matches, err := filepath.Glob(filepath.Join(dir, "day-*-shard-000.tsv"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("shard files: %v, %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []string
+	rs.OnEvent = func(f string, a ...any) { events = append(events, f) }
+	redone, err := rs.Run(context.Background(), []simtime.Day{day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := redone.WriteArchive(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("re-scan after shard damage diverges from original archive")
+	}
+	sawDamage := false
+	for _, e := range events {
+		if strings.Contains(e, "failed verification") || strings.Contains(e, "damaged") {
+			sawDamage = true
+		}
+	}
+	if !sawDamage {
+		t.Errorf("damage not reported: %q", events)
+	}
+}

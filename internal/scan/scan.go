@@ -107,6 +107,13 @@ const (
 // omitted from the snapshot, as they are absent from zone files; targets
 // that could not be measured appear as Failed placeholder records and are
 // itemized in the health report rather than silently dropped.
+//
+// ScanDay is fully context-cancellation-aware: on cancellation it stops
+// dispatching, drains its workers, accounts every unprocessed target as a
+// FailCancelled failure (so Targets == Measured + Unregistered + skipped +
+// Failures still holds), and returns the partial snapshot with ctx's
+// error — the clean-interruption contract the checkpoint/resume path
+// builds on.
 func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target) (*dataset.Snapshot, *SweepHealth, error) {
 	snap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(targets))}
 	health := &SweepHealth{Day: day, Targets: len(targets), ByClass: make(map[FailClass]int)}
@@ -170,14 +177,27 @@ func (s *Scanner) sweep(ctx context.Context, snap *dataset.Snapshot, health *Swe
 			}
 		}()
 	}
-	for _, t := range targets {
+	dispatched := len(targets)
+	for i, t := range targets {
 		if ctx.Err() != nil {
+			dispatched = i
 			break
 		}
 		jobs <- t
 	}
 	close(jobs)
 	wg.Wait()
+	// Cancellation accounting: targets never handed to a worker are still
+	// part of the sweep's input and must not vanish from the ledger — they
+	// are failures of class "cancelled", resumable later, never silently
+	// dropped. (Dispatched targets whose exchanges died on the cancelled
+	// context classify themselves the same way via classifyErr.)
+	for _, t := range targets[dispatched:] {
+		failures = append(failures, Failure{
+			Target: t, Stage: "dispatch", Class: FailCancelled,
+			Err: context.Cause(ctx).Error(),
+		})
+	}
 	return failures
 }
 

@@ -2,6 +2,7 @@ package scan_test
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -184,6 +185,84 @@ func TestScanContextCancel(t *testing.T) {
 	cancel()
 	if _, _, err := s.ScanDay(ctx, eco.Clock.Day(), targets); err == nil {
 		t.Error("cancelled scan reported success")
+	}
+}
+
+// cancelOnFirstExchanger cancels the sweep's context on its first exchange
+// and fails every exchange on a dead context — a deterministic mid-sweep
+// SIGINT.
+type cancelOnFirstExchanger struct {
+	inner  dnsserver.Exchanger
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (e *cancelOnFirstExchanger) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	e.once.Do(e.cancel)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.inner.Exchange(ctx, server, q)
+}
+
+// TestScanCancelAccountsEveryTarget interrupts a sweep at its very first
+// exchange and checks the ledger: no target may vanish — each is either
+// measured, unregistered, skipped, or itemized as a failure, and the
+// interruption surfaces as the distinct "cancelled" class.
+func TestScanCancelAccountsEveryTarget(t *testing.T) {
+	eco, targets := buildWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := scan.New(scan.Config{
+		Exchange: &cancelOnFirstExchanger{inner: eco.Net, cancel: cancel},
+		TLDServers: map[string]string{
+			"com": dnstest.TLDServerAddr("com"),
+			"nl":  dnstest.TLDServerAddr("nl"),
+		},
+		Workers: 2,
+		Clock:   eco.Clock.Day,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, health, err := s.ScanDay(ctx, eco.Clock.Day(), targets)
+	if err == nil {
+		t.Fatal("interrupted scan reported success")
+	}
+	accounted := health.Measured + health.Unregistered + len(health.SkippedUnknownTLD) + len(health.Failures)
+	if accounted != health.Targets {
+		t.Errorf("ledger leak: %d targets, %d accounted (%s)", health.Targets, accounted, health)
+	}
+	if health.Cancelled() == 0 {
+		t.Errorf("no cancelled class in %v", health.ByClass)
+	}
+	if health.Cancelled() != len(health.Failures) {
+		t.Errorf("cancelled %d of %d failures; every failure of this run is a cancellation",
+			health.Cancelled(), len(health.Failures))
+	}
+	// The snapshot carries the gap markers, none of them "measured".
+	for i := range snap.Records {
+		if r := &snap.Records[i]; !r.Failed || r.FailReason != string(scan.FailCancelled) {
+			t.Errorf("record %s: Failed=%v reason=%q", r.Domain, r.Failed, r.FailReason)
+		}
+	}
+}
+
+// TestSweepHealthMerge checks the shard-aggregation arithmetic.
+func TestSweepHealthMerge(t *testing.T) {
+	a := &scan.SweepHealth{Targets: 5, Measured: 4, Unregistered: 1, Retries: 2,
+		ByClass: map[scan.FailClass]int{scan.FailTimeout: 1}}
+	b := &scan.SweepHealth{Targets: 3, Measured: 2, Resweeps: 1,
+		Failures: []scan.Failure{{Class: scan.FailTimeout}},
+		ByClass:  map[scan.FailClass]int{scan.FailTimeout: 1}}
+	var sum scan.SweepHealth
+	sum.Merge(a)
+	sum.Merge(b)
+	sum.Merge(nil)
+	if sum.Targets != 8 || sum.Measured != 6 || sum.Unregistered != 1 ||
+		sum.Retries != 2 || sum.Resweeps != 1 || len(sum.Failures) != 1 ||
+		sum.ByClass[scan.FailTimeout] != 2 {
+		t.Errorf("merge: %+v", sum)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/checkpoint"
 	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/dnssec"
 	"securepki.org/registrarsec/internal/dnsserver"
@@ -47,6 +48,10 @@ type (
 	TLDOverview = analysis.TLDOverview
 	// Snapshot is one day of scan records.
 	Snapshot = dataset.Snapshot
+	// Archive is a day-indexed snapshot store (the longitudinal dataset).
+	Archive = dataset.Store
+	// ArchiveReport is the integrity accounting of an archive read.
+	ArchiveReport = dataset.ArchiveReport
 	// Record is one domain's observed state.
 	Record = dataset.Record
 	// Deployment is the none/partial/full/broken classification.
@@ -262,6 +267,99 @@ func (s *Study) ScanSampleFaulty(ctx context.Context, day Day, n int, workers in
 		targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
 	}
 	return scanner.ScanDay(ctx, day, targets)
+}
+
+// LongitudinalConfig configures a resumable multi-day sweep.
+type LongitudinalConfig struct {
+	// Days are the measurement days, oldest first.
+	Days []Day
+	// Sample is the number of domains drawn from the world (the same
+	// sample is tracked across every day, as the paper tracks a fixed
+	// population).
+	Sample int
+	// SampleSeed drives the sample draw (default 1).
+	SampleSeed int64
+	// Workers is the per-day scan concurrency.
+	Workers int
+	// Shards is the number of checkpoint units per day (default 4).
+	Shards int
+	// CheckpointDir, when non-empty, makes the sweep crash-safe: each
+	// completed shard is durably checkpointed there, and a re-run resumes
+	// from the last completed shard with finished days verified by
+	// checksum instead of re-scanned.
+	CheckpointDir string
+	// FaultSeed and Rules optionally inject transport faults, as in
+	// ScanSampleFaulty.
+	FaultSeed int64
+	Rules     []FaultRule
+	// OnDayHealth and OnEvent receive per-day health reports and resume
+	// progress lines.
+	OnDayHealth func(day Day, h *SweepHealth)
+	OnEvent     func(format string, args ...any)
+}
+
+// ScanLongitudinal runs a multi-day, checkpoint-resumable measurement
+// sweep over one fixed domain sample — the paper's 21-month daily series
+// in miniature, hardened against the process dying partway. On context
+// cancellation (e.g. SIGINT) it persists a clean checkpoint and returns
+// the context's error; calling it again with the same configuration
+// resumes instead of restarting, and the final archive is byte-identical
+// to an uninterrupted run.
+func (s *Study) ScanLongitudinal(ctx context.Context, cfg LongitudinalConfig) (*Archive, error) {
+	if s.World == nil {
+		return nil, fmt.Errorf("study: ScanLongitudinal requires a world (Options.SkipWorld unset)")
+	}
+	if len(cfg.Days) == 0 {
+		return nil, fmt.Errorf("study: no measurement days")
+	}
+	if cfg.SampleSeed == 0 {
+		cfg.SampleSeed = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	sample := s.World.Sample(cfg.Sample, cfg.SampleSeed)
+	var cp *checkpoint.Store
+	if cfg.CheckpointDir != "" {
+		var err error
+		if cp, err = checkpoint.Open(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
+	setup := func(ctx context.Context, day Day) (*scan.Scanner, []scan.Target, error) {
+		mat, err := tldsim.Materialize(day, sample)
+		if err != nil {
+			return nil, nil, err
+		}
+		var exchange dnsserver.Exchanger = mat.Net
+		if len(cfg.Rules) > 0 {
+			exchange = faultnet.New(mat.Net, cfg.FaultSeed, func() simtime.Day { return day }, cfg.Rules...)
+		}
+		scanner, err := scan.New(scan.Config{
+			Exchange:   exchange,
+			TLDServers: mat.TLDServers,
+			Workers:    cfg.Workers,
+			Clock:      func() simtime.Day { return day },
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		targets := make([]scan.Target, 0, len(sample))
+		for _, d := range sample {
+			targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
+		}
+		return scanner, targets, nil
+	}
+	rs := &scan.ResumableSweep{
+		Checkpoint: cp,
+		Fingerprint: fmt.Sprintf("sample=%d seed=%d days=%v shards=%d faults=%d",
+			cfg.Sample, cfg.SampleSeed, cfg.Days, cfg.Shards, len(cfg.Rules)),
+		Shards:      cfg.Shards,
+		Setup:       setup,
+		OnDayHealth: cfg.OnDayHealth,
+		OnEvent:     cfg.OnEvent,
+	}
+	return rs.Run(ctx, cfg.Days)
 }
 
 // RenderTable2 formats Table 2 observations with per-registrar domain

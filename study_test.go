@@ -127,6 +127,49 @@ func TestStudyScanSampleAgreesWithModel(t *testing.T) {
 	}
 }
 
+// TestStudyScanLongitudinal runs the resumable multi-day sweep through the
+// public facade: interrupted and uninterrupted runs must converge on
+// byte-identical archives.
+func TestStudyScanLongitudinal(t *testing.T) {
+	s := testStudy(t)
+	days := []Day{simtime.Date(2016, 6, 1), simtime.End}
+	base := LongitudinalConfig{Days: days, Sample: 40, Workers: 4, Shards: 2}
+
+	store, err := s.ScanLongitudinal(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("snapshots: %d", store.Len())
+	}
+	var want strings.Builder
+	if err := store.WriteArchive(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed run interrupted before day two, then resumed.
+	cfg := base
+	cfg.CheckpointDir = t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ScanLongitudinal(ctx, cfg); err == nil {
+		t.Fatal("cancelled sweep reported success")
+	}
+	var events []string
+	cfg.OnEvent = func(f string, a ...any) { events = append(events, f) }
+	resumed, err := s.ScanLongitudinal(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	if err := resumed.WriteArchive(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Error("resumed archive differs from uninterrupted run")
+	}
+}
+
 func TestStudyOptions(t *testing.T) {
 	s, err := NewStudy(Options{SkipWorld: true, SkipAgents: true})
 	if err != nil {
