@@ -155,6 +155,7 @@ func seriesText(label string, pts []SeriesPoint, every int) string {
 
 func BenchmarkFigure4OVHvsGoDaddy(b *testing.B) {
 	s := getStudy(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var ovh, gd []SeriesPoint
 	for i := 0; i < b.N; i++ {
@@ -423,15 +424,15 @@ func BenchmarkTransports(b *testing.B) {
 	if _, _, err := h.AddDomain("bench.com", "ns1.bench-op.net", dnstest.Full); err != nil {
 		b.Fatal(err)
 	}
-	query := func() *dnswire.Message {
-		q := dnswire.NewQuery(uint16(b.N), "bench.com", dnswire.TypeDNSKEY)
+	query := func(id uint16) *dnswire.Message {
+		q := dnswire.NewQuery(id, "bench.com", dnswire.TypeDNSKEY)
 		q.SetEDNS(4096, true)
 		return q
 	}
 	b.Run("memnet", func(b *testing.B) {
 		ctx := context.Background()
 		for i := 0; i < b.N; i++ {
-			resp, err := h.Net.Exchange(ctx, "ns1.bench-op.net", query())
+			resp, err := h.Net.Exchange(ctx, "ns1.bench-op.net", query(uint16(i)))
 			if err != nil || len(resp.Answers) == 0 {
 				b.Fatalf("exchange: %v", err)
 			}
@@ -447,7 +448,7 @@ func BenchmarkTransports(b *testing.B) {
 		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			resp, err := ex.Exchange(ctx, srv.Addr(), query())
+			resp, err := ex.Exchange(ctx, srv.Addr(), query(uint16(i)))
 			if err != nil || len(resp.Answers) == 0 {
 				b.Fatalf("exchange: %v", err)
 			}
@@ -467,6 +468,7 @@ func BenchmarkWorldBuild(b *testing.B) {
 
 func BenchmarkSnapshotAt(b *testing.B) {
 	s := getStudy(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		snap := s.World.SnapshotAt(simtime.End)

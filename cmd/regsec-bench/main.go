@@ -1,0 +1,189 @@
+// Command regsec-bench measures the columnar analytics engine against the
+// legacy record-materializing path over a generated world and writes the
+// BENCH_colstore.json baseline, so the engine's trajectory is tracked
+// across PRs. CI runs it on every push and archives the JSON as an
+// artifact.
+//
+// Usage:
+//
+//	regsec-bench [-scale 1000] [-seed 1] [-o BENCH_colstore.json] [-compare old.json]
+//
+// Each workload is benchmarked in its colstore and legacy variants via
+// testing.Benchmark; the emitted file carries ns/op, allocs/op, B/op and
+// the legacy/colstore speedup per workload. With -compare the run is also
+// diffed against a previous baseline and regressions are reported (exit 1
+// when a workload slowed by more than 2x, so CI can gate on it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/colstore"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/tldsim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scaleDiv := flag.Float64("scale", 1000, "population divisor for the benchmark world")
+	seed := flag.Int64("seed", 1, "world seed")
+	outPath := flag.String("o", "BENCH_colstore.json", "baseline output path")
+	compare := flag.String("compare", "", "previous baseline to diff against")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "building world (scale 1/%.0f, seed %d)...\n", *scaleDiv, *seed)
+	world, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / *scaleDiv, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	idx := world.Index()
+	fmt.Fprintf(os.Stderr, "population: %d domains, %d operators\n", idx.Len(), idx.Operators())
+
+	// One legacy snapshot for the aggregation oracles, built outside the
+	// timed regions.
+	legacySnap := world.SnapshotAtLegacy(simtime.End)
+	inGTLD := func(r *dataset.Record) bool {
+		return r.TLD == "com" || r.TLD == "net" || r.TLD == "org"
+	}
+
+	type work struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	works := []work{
+		{"SnapshotAt/colstore", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if snap := world.SnapshotAt(simtime.End); len(snap.Records) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		}},
+		{"SnapshotAt/legacy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if snap := world.SnapshotAtLegacy(simtime.End); len(snap.Records) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		}},
+		{"SeriesOVH/colstore", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if pts := world.SeriesFor("ovh.net", "", simtime.GTLDStart, simtime.End, 1); len(pts) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		}},
+		{"SeriesOVH/legacy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if pts := world.SeriesForLegacy("ovh.net", "", simtime.GTLDStart, simtime.End, 1); len(pts) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		}},
+		{"OperatorCDF/colstore", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if cdf := idx.OperatorCDF(simtime.End, colstore.ClassAny, "com", "net", "org"); len(cdf) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		}},
+		{"OperatorCDF/legacy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if cdf := analysis.OperatorCDF(legacySnap, inGTLD); len(cdf) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		}},
+		{"Overview/colstore", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ov := idx.Overview(simtime.End, tldsim.AllTLDs); len(ov) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		}},
+		{"Overview/legacy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ov := analysis.Overview(legacySnap, tldsim.AllTLDs); len(ov) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		}},
+	}
+
+	baseline := &colstore.Baseline{
+		Schema:       colstore.BaselineSchema,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		ScaleDivisor: *scaleDiv,
+		Seed:         *seed,
+		Domains:      idx.Len(),
+		Operators:    idx.Operators(),
+	}
+	for _, w := range works {
+		r := testing.Benchmark(w.fn)
+		res := colstore.BenchResult{
+			Name:        w.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		baseline.Benchmarks = append(baseline.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %10d allocs/op %12d B/op\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	baseline.ComputeSpeedups()
+	var names []string
+	for name := range baseline.Speedups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "speedup %-16s %.1fx\n", name, baseline.Speedups[name])
+	}
+
+	if err := baseline.WriteFile(*outPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+
+	if *compare != "" {
+		prev, err := colstore.ReadBaseline(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		prevNs := map[string]float64{}
+		for _, r := range prev.Benchmarks {
+			prevNs[r.Name] = r.NsPerOp
+		}
+		regressed := false
+		for _, r := range baseline.Benchmarks {
+			old, ok := prevNs[r.Name]
+			if !ok || old <= 0 {
+				continue
+			}
+			ratio := r.NsPerOp / old
+			marker := ""
+			if ratio > 2 {
+				marker = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(os.Stderr, "vs %s: %-24s %.2fx%s\n", *compare, r.Name, ratio, marker)
+		}
+		if regressed {
+			return 1
+		}
+	}
+	return 0
+}

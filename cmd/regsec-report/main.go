@@ -5,6 +5,7 @@
 // Usage:
 //
 //	regsec-report [-scale 1000] [-seed 1] -artifact table1|figure3|figure4|figure5|figure6|figure7|figure8|all
+//	              [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
@@ -17,23 +18,37 @@ import (
 	"securepki.org/registrarsec"
 	"securepki.org/registrarsec/internal/analysis"
 	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/profdump"
 	"securepki.org/registrarsec/internal/simtime"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	scaleDiv := flag.Float64("scale", 1000, "population divisor")
 	seed := flag.Int64("seed", 1, "world seed")
 	artifact := flag.String("artifact", "all", "which artifact to produce")
 	step := flag.Int("step", 7, "series step in days")
 	archive := flag.String("archive", "", "analyze a regsec-scan TSV archive instead of the generative model")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profdump.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
 
 	if *archive != "" {
 		if err := reportArchive(*archive); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	study, err := registrarsec.NewStudy(registrarsec.Options{
@@ -41,7 +56,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	runAll := *artifact == "all"
@@ -113,8 +128,9 @@ func main() {
 	}
 	if !did {
 		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *artifact)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // reportArchive summarizes a scan archive: per-day overview plus the

@@ -8,6 +8,7 @@
 //	regsec-scan [-scale 2000] [-seed 1] [-days 2016-06-01,2016-12-31] [-sample 1000] [-workers 16] [-o archive.tsv]
 //	            [-retries 3] [-resweeps 2] [-fault-frac 0.5] [-fault-loss 0.2] [-fault-seed 1]
 //	            [-checkpoint-dir state/] [-resume] [-shards 4]
+//	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // With -o the snapshots are written as a checksummed TSV archive (each
 // day's section carries a length+CRC trailer) that regsec-report -archive
@@ -38,6 +39,7 @@ import (
 	"securepki.org/registrarsec/internal/checkpoint"
 	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/faultnet"
+	"securepki.org/registrarsec/internal/profdump"
 	"securepki.org/registrarsec/internal/retry"
 	"securepki.org/registrarsec/internal/scan"
 	"securepki.org/registrarsec/internal/simtime"
@@ -45,6 +47,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	scaleDiv := flag.Float64("scale", 2000, "population divisor (2000 → .com has ~59k domains)")
 	seed := flag.Int64("seed", 1, "world seed")
 	daysStr := flag.String("days", "2016-12-31", "comma-separated measurement days (YYYY-MM-DD)")
@@ -59,33 +65,41 @@ func main() {
 	cpDir := flag.String("checkpoint-dir", "", "directory for durable sweep checkpoints (enables crash-safe resume)")
 	resume := flag.Bool("resume", false, "continue from an existing checkpoint in -checkpoint-dir")
 	shards := flag.Int("shards", 4, "checkpoint units per day (granularity of resume)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profdump.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProfiles()
 
 	var days []simtime.Day
 	for _, part := range strings.Split(*daysStr, ",") {
 		day, err := simtime.Parse(strings.TrimSpace(part))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		days = append(days, day)
 	}
 	if *resume && *cpDir == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
-		os.Exit(2)
+		return 2
 	}
 
 	var cp *checkpoint.Store
 	if *cpDir != "" {
-		var err error
 		cp, err = checkpoint.Open(*cpDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if cp.Exists() && !*resume {
 			fmt.Fprintf(os.Stderr, "checkpoint already present in %s: pass -resume to continue it, or remove the directory to start over\n", *cpDir)
-			os.Exit(2)
+			return 2
 		}
 		if !cp.Exists() && *resume {
 			fmt.Fprintf(os.Stderr, "no checkpoint in %s; starting a fresh sweep\n", *cpDir)
@@ -96,7 +110,7 @@ func main() {
 	world, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / *scaleDiv, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	domains := world.Sample(*sample, *seed)
 	targets := make([]scan.Target, 0, len(domains))
@@ -160,10 +174,10 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) && cp != nil {
 			fmt.Fprintf(os.Stderr, "interrupted; checkpoint saved in %s — re-run with -resume to continue\n", *cpDir)
-			os.Exit(130)
+			return 130
 		}
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	var queries int64
 	for _, s := range scanners {
@@ -173,7 +187,7 @@ func main() {
 	if *outPath != "" {
 		if err := store.WriteArchiveFile(*outPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d snapshot(s) to %s\n", store.Len(), *outPath)
 	} else {
@@ -204,4 +218,5 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d records across %d day(s) in %v (%d DNS queries)\n",
 		total, store.Len(), time.Since(start).Round(time.Millisecond), queries)
+	return 0
 }

@@ -1,0 +1,259 @@
+package colstore
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// Class selects a deployment population for an aggregation, mirroring the
+// analysis package's record filters over the columnar layout.
+type Class uint8
+
+const (
+	// ClassAny matches every measured domain (the "all domains" CDF).
+	ClassAny Class = iota
+	// ClassDNSKEY matches domains publishing at least one DNSKEY.
+	ClassDNSKEY
+	// ClassPartial matches DNSKEY-but-no-DS domains.
+	ClassPartial
+	// ClassFull matches complete, matching chains.
+	ClassFull
+	// ClassBroken matches domains with a DS that validates nothing.
+	ClassBroken
+	// ClassNone matches domains with neither DNSKEY nor DS.
+	ClassNone
+)
+
+// matches classifies domain i at day d. The branch structure mirrors
+// dnssec.Classify(hasDNSKEY, hasDS, chainValid) exactly, with chainValid
+// folded into the precomputed fullDay column.
+func (x *Index) matches(i int, d int32, c Class) bool {
+	switch c {
+	case ClassAny:
+		return true
+	case ClassDNSKEY:
+		return x.keyDay[i] <= d
+	case ClassPartial:
+		return x.keyDay[i] <= d && x.dsDay[i] > d
+	case ClassFull:
+		return x.fullDay[i] <= d
+	case ClassBroken:
+		return x.dsDay[i] <= d && x.fullDay[i] > d
+	case ClassNone:
+		return x.keyDay[i] > d && x.dsDay[i] > d
+	}
+	return false
+}
+
+// aggShardMin is the smallest per-worker slice worth a goroutine; tiny
+// populations aggregate serially.
+const aggShardMin = 16 << 10
+
+// operatorCounts tallies matching domains per interned operator at day d,
+// sharding the column scan across workers. Each worker counts into a
+// recycled dense []int32 (no string keys, no maps) and the shards merge at
+// the end.
+func (x *Index) operatorCounts(d int32, c Class, tldMask []bool) []int32 {
+	workers := runtime.GOMAXPROCS(0)
+	if max := x.n / aggShardMin; workers > max {
+		workers = max
+	}
+	out := make([]int32, len(x.ops))
+	if workers <= 1 {
+		x.countRange(0, x.n, d, c, tldMask, out)
+		return out
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		stride = (x.n + workers - 1) / workers
+	)
+	for w := 0; w < workers; w++ {
+		lo := w * stride
+		hi := lo + stride
+		if hi > x.n {
+			hi = x.n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			bufp := x.scratch.Get().(*[]int32)
+			buf := *bufp
+			for i := range buf {
+				buf[i] = 0
+			}
+			x.countRange(lo, hi, d, c, tldMask, buf)
+			mu.Lock()
+			for i, n := range buf {
+				out[i] += n
+			}
+			mu.Unlock()
+			x.scratch.Put(bufp)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func (x *Index) countRange(lo, hi int, d int32, c Class, tldMask []bool, counts []int32) {
+	for i := lo; i < hi; i++ {
+		if tldMask != nil && !tldMask[x.tldID[i]] {
+			continue
+		}
+		if x.matches(i, d, c) {
+			counts[x.opID[i]]++
+		}
+	}
+}
+
+// CountByOperator tallies matching domains per operator at the given day,
+// descending by count (operator name breaking ties) — identical output to
+// analysis.CountByOperator over the materialized snapshot, without the
+// snapshot or the string-keyed map.
+func (x *Index) CountByOperator(day simtime.Day, c Class, tlds ...string) []analysis.OperatorCount {
+	counts := x.operatorCounts(clampDay(day), c, x.tldMask(tlds))
+	out := make([]analysis.OperatorCount, 0, len(counts))
+	for id, n := range counts {
+		if n > 0 {
+			out = append(out, analysis.OperatorCount{Operator: x.ops[id], Count: int(n)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Operator < out[j].Operator
+	})
+	return out
+}
+
+// OperatorCDF computes the Figure 3 cumulative distribution of domains
+// over operators ranked by size, identical to analysis.OperatorCDF.
+func (x *Index) OperatorCDF(day simtime.Day, c Class, tlds ...string) []analysis.CDFPoint {
+	counts := x.CountByOperator(day, c, tlds...)
+	total := 0
+	for _, cnt := range counts {
+		total += cnt.Count
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]analysis.CDFPoint, len(counts))
+	cum := 0
+	for i, cnt := range counts {
+		cum += cnt.Count
+		out[i] = analysis.CDFPoint{
+			Rank: i + 1, Operator: cnt.Operator, Count: cnt.Count,
+			CumFrac: float64(cum) / float64(total),
+		}
+	}
+	return out
+}
+
+// Overview computes the Table 1 per-TLD dataset summary at the given day,
+// identical to analysis.Overview over the materialized snapshot. The scan
+// shards across workers, each tallying four counters per requested TLD.
+func (x *Index) Overview(day simtime.Day, tlds []string) []analysis.TLDOverview {
+	d := clampDay(day)
+	// Dense row index per interned TLD; -1 for TLDs not requested.
+	rowOf := make([]int, len(x.tlds))
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	for row, t := range tlds {
+		if id, ok := x.tldIDs[t]; ok && rowOf[id] == -1 {
+			rowOf[id] = row
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if max := x.n / aggShardMin; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stride := (x.n + workers - 1) / workers
+	shards := make([][][4]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * stride
+		hi := lo + stride
+		if hi > x.n {
+			hi = x.n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			tally := make([][4]int, len(tlds)) // total, dnskey, full, partial
+			for i := lo; i < hi; i++ {
+				row := rowOf[x.tldID[i]]
+				if row < 0 {
+					continue
+				}
+				tally[row][0]++
+				hasKey := x.keyDay[i] <= d
+				if hasKey {
+					tally[row][1]++
+				}
+				if x.fullDay[i] <= d {
+					tally[row][2]++
+				} else if hasKey && x.dsDay[i] > d {
+					tally[row][3]++
+				}
+			}
+			shards[w] = tally
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := make([]analysis.TLDOverview, len(tlds))
+	for row, t := range tlds {
+		var c [4]int
+		for _, tally := range shards {
+			if tally != nil {
+				for k := 0; k < 4; k++ {
+					c[k] += tally[row][k]
+				}
+			}
+		}
+		out[row] = analysis.TLDOverview{
+			TLD:        t,
+			Domains:    c[0],
+			PctDNSKEY:  pct(c[1], c[0]),
+			PctFull:    pct(c[2], c[0]),
+			PctPartial: pct(c[3], c[0]),
+		}
+	}
+	return out
+}
+
+// DSGapPct computes the share of DNSKEY-publishing domains without a DS at
+// the given day — analysis.DSGapPct over the columns.
+func (x *Index) DSGapPct(day simtime.Day, tlds ...string) float64 {
+	d := clampDay(day)
+	tldMask := x.tldMask(tlds)
+	keyed, gap := 0, 0
+	for i := 0; i < x.n; i++ {
+		if tldMask != nil && !tldMask[x.tldID[i]] {
+			continue
+		}
+		if x.keyDay[i] > d {
+			continue
+		}
+		keyed++
+		if x.dsDay[i] > d {
+			gap++
+		}
+	}
+	return pct(gap, keyed)
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,452 @@
+// Package colstore is the columnar incremental analytics engine for the
+// longitudinal pipeline. The paper's core measurement is O(days × domains)
+// — 21 months of daily snapshots over ~150M gTLD SLDs, re-classified into
+// none/partial/full and re-grouped by DNS operator every day — and the
+// naive reproduction paid that cost by materializing a fresh
+// []dataset.Record per day and rebuilding string-keyed maps per analysis.
+//
+// colstore instead interns operators, TLDs and registrars into dense
+// integer IDs once at build time and stores each domain as fixed-width
+// columns (opID, tldID, keyDay, dsDay, fullDay, flags). On top of that
+// layout it provides:
+//
+//   - incremental time series: per-(operator, TLD) key/DS/full event days
+//     are sorted once, so an N-day series is a cursor sweep costing
+//     O(group events + days) instead of O(days × all domains);
+//   - sharded parallel aggregation: CountByOperator/CDF/Overview tally
+//     into dense per-worker int32 scratch counters (recycled through a
+//     pool) and merge, with no per-day map churn;
+//   - cheap snapshot materialization: a prebuilt record template is
+//     memcpy'd and only the four day-dependent booleans are patched, and
+//     every record of an operator shares one NS-host slice.
+//
+// Results are bit-identical to the legacy record-at-a-time path, which is
+// retained as the oracle (see tldsim.World.SnapshotAtLegacy /
+// SeriesForLegacy and the equivalence property tests).
+package colstore
+
+import (
+	"sort"
+	"sync"
+
+	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// never mirrors simtime.Never in the int32 day columns (1<<30 fits).
+const never = int32(simtime.Never)
+
+// impossible marks an event that cannot occur at any day, including Never
+// itself (a broken chain validating). It must compare greater than never.
+const impossible = int32(1<<31 - 1)
+
+// Domain is one domain's full history, the ingest row for a Builder.
+type Domain struct {
+	Name, TLD, Operator, Registrar string
+	// NSHost is the operator's concrete nameserver hostname; every domain
+	// of an operator shares one interned []string{NSHost} slice.
+	NSHost               string
+	KeyDay, DSDay        simtime.Day
+	BrokenDS, ExpiredSig bool
+}
+
+const (
+	flagBroken  uint8 = 1 << 0
+	flagExpired uint8 = 1 << 1
+)
+
+// Builder accumulates domains and freezes them into an Index.
+type Builder struct {
+	idx    *Index
+	opIDs  map[string]uint32
+	tldIDs map[string]uint16
+	regIDs map[string]uint32
+}
+
+// NewBuilder returns a builder with capacity hint n.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		idx: &Index{
+			names:   make([]string, 0, n),
+			opID:    make([]uint32, 0, n),
+			tldID:   make([]uint16, 0, n),
+			regID:   make([]uint32, 0, n),
+			keyDay:  make([]int32, 0, n),
+			dsDay:   make([]int32, 0, n),
+			fullDay: make([]int32, 0, n),
+			flags:   make([]uint8, 0, n),
+			opIDs:   make(map[string]uint32),
+			tldIDs:  make(map[string]uint16),
+		},
+		opIDs:  make(map[string]uint32),
+		tldIDs: make(map[string]uint16),
+		regIDs: make(map[string]uint32),
+	}
+}
+
+// Add appends one domain. Rows may arrive in any order; Build sorts the
+// derived event lists, not the rows themselves.
+func (b *Builder) Add(d Domain) {
+	x := b.idx
+	op, ok := b.opIDs[d.Operator]
+	if !ok {
+		op = uint32(len(x.ops))
+		b.opIDs[d.Operator] = op
+		x.opIDs[d.Operator] = op
+		x.ops = append(x.ops, d.Operator)
+		x.opNS = append(x.opNS, []string{d.NSHost})
+	}
+	tld, ok := b.tldIDs[d.TLD]
+	if !ok {
+		tld = uint16(len(x.tlds))
+		b.tldIDs[d.TLD] = tld
+		x.tldIDs[d.TLD] = tld
+		x.tlds = append(x.tlds, d.TLD)
+	}
+	reg, ok := b.regIDs[d.Registrar]
+	if !ok {
+		reg = uint32(len(x.regs))
+		b.regIDs[d.Registrar] = reg
+		x.regs = append(x.regs, d.Registrar)
+	}
+	var fl uint8
+	if d.BrokenDS {
+		fl |= flagBroken
+	}
+	if d.ExpiredSig {
+		fl |= flagExpired
+	}
+	// fullDay is the precomputed day full deployment begins: a domain is
+	// ChainValid once both halves are in place and neither breakage flag
+	// is set, i.e. from max(KeyDay, DSDay) on. A broken/expired chain can
+	// never validate, which is a strictly stronger condition than "has not
+	// happened yet": a query AT day Never matches Never-valued events (the
+	// legacy `KeyDay <= day` comparison does), so the impossible case gets
+	// its own sentinel above never.
+	full := impossible
+	if fl == 0 {
+		full = int32(d.KeyDay)
+		if int32(d.DSDay) > full {
+			full = int32(d.DSDay)
+		}
+	}
+	x.names = append(x.names, d.Name)
+	x.opID = append(x.opID, op)
+	x.tldID = append(x.tldID, tld)
+	x.regID = append(x.regID, reg)
+	x.keyDay = append(x.keyDay, int32(d.KeyDay))
+	x.dsDay = append(x.dsDay, int32(d.DSDay))
+	x.fullDay = append(x.fullDay, full)
+	x.flags = append(x.flags, fl)
+}
+
+// Build freezes the columns: the record template is prebuilt, the
+// per-(operator, TLD) event groups are bucketed and day-sorted, and the
+// builder must not be reused.
+func (b *Builder) Build() *Index {
+	x := b.idx
+	b.idx = nil
+	x.n = len(x.names)
+
+	x.template = make([]dataset.Record, x.n)
+	for i := range x.template {
+		x.template[i] = dataset.Record{
+			Domain:   x.names[i],
+			TLD:      x.tlds[x.tldID[i]],
+			NSHosts:  x.opNS[x.opID[i]],
+			Operator: x.ops[x.opID[i]],
+		}
+	}
+
+	// Bucket domains into (operator, TLD) event groups. Group identity is
+	// opID<<16|tldID; the per-operator group lists let a tld=="" query
+	// sweep an operator's few TLD groups without touching anyone else.
+	x.groupIDs = make(map[uint64]int)
+	x.opGroups = make([][]int, len(x.ops))
+	for i := 0; i < x.n; i++ {
+		k := groupKey(x.opID[i], x.tldID[i])
+		gi, ok := x.groupIDs[k]
+		if !ok {
+			gi = len(x.groups)
+			x.groupIDs[k] = gi
+			x.groups = append(x.groups, eventGroup{op: x.opID[i], tld: x.tldID[i]})
+			x.opGroups[x.opID[i]] = append(x.opGroups[x.opID[i]], gi)
+		}
+		g := &x.groups[gi]
+		g.total++
+		if x.keyDay[i] != never {
+			g.keyDays = append(g.keyDays, x.keyDay[i])
+		}
+		if x.dsDay[i] != never {
+			g.dsDays = append(g.dsDays, x.dsDay[i])
+			if x.fullDay[i] != impossible {
+				// Mirrors the legacy event list exactly: a DS-holding,
+				// unbroken chain contributes max(KeyDay, DSDay) — which may
+				// itself be Never when the zone is never signed.
+				g.fullDays = append(g.fullDays, x.fullDay[i])
+			}
+		}
+	}
+	for gi := range x.groups {
+		g := &x.groups[gi]
+		sortInt32(g.keyDays)
+		sortInt32(g.dsDays)
+		sortInt32(g.fullDays)
+	}
+	x.scratch.New = func() any {
+		s := make([]int32, len(x.ops))
+		return &s
+	}
+	return x
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func groupKey(op uint32, tld uint16) uint64 {
+	return uint64(op)<<16 | uint64(tld)
+}
+
+// eventGroup is one (operator, TLD) population's day-sorted adoption
+// events; fullDays carries only never-broken chains (a subset of dsDays).
+type eventGroup struct {
+	op       uint32
+	tld      uint16
+	total    int
+	keyDays  []int32
+	dsDays   []int32
+	fullDays []int32
+}
+
+// Index is the frozen columnar view of one domain population.
+type Index struct {
+	n int
+
+	// Per-domain fixed-width columns.
+	names   []string
+	opID    []uint32
+	tldID   []uint16
+	regID   []uint32
+	keyDay  []int32
+	dsDay   []int32
+	fullDay []int32
+	flags   []uint8
+
+	// Intern tables.
+	ops    []string
+	tlds   []string
+	regs   []string
+	opNS   [][]string
+	opIDs  map[string]uint32
+	tldIDs map[string]uint16
+
+	// Prebuilt day-independent record fields for Snapshot.
+	template []dataset.Record
+
+	// Materialized-view cache: the most recently projected days, shared
+	// across callers. Projecting a day costs a full population pass and
+	// ~100B/record of allocation; analyses overwhelmingly revisit the same
+	// few days (usually the window end), so memoization turns the steady
+	// state into a map hit.
+	snapMu    sync.Mutex
+	snapCache [snapCacheSize]*dataset.Snapshot
+
+	// Incremental-series event groups.
+	groups   []eventGroup
+	groupIDs map[uint64]int
+	opGroups [][]int
+
+	// Recycled per-worker operator counters for parallel aggregation.
+	scratch sync.Pool
+}
+
+// Len returns the domain population size.
+func (x *Index) Len() int { return x.n }
+
+// Operators returns the number of distinct operators.
+func (x *Index) Operators() int { return len(x.ops) }
+
+// snapCacheSize bounds the materialized-view cache (MRU first).
+const snapCacheSize = 2
+
+// Snapshot materializes the whole population at one day. The first
+// projection of a day is a single fused pass — each record is the
+// prebuilt template entry with the day-dependent booleans patched in
+// registers, no per-record slice or string allocation — and the result is
+// memoized, so repeated analyses of the same day share one view.
+//
+// The returned snapshot is that shared view: callers must treat it as
+// read-only (in particular, do not Canonicalize it). Use Materialize for
+// a private copy.
+func (x *Index) Snapshot(day simtime.Day) *dataset.Snapshot {
+	x.snapMu.Lock()
+	defer x.snapMu.Unlock()
+	for i, snap := range x.snapCache {
+		if snap != nil && snap.Day == day {
+			// Move to front so the working set's days stay resident.
+			copy(x.snapCache[1:i+1], x.snapCache[:i])
+			x.snapCache[0] = snap
+			return snap
+		}
+	}
+	snap := x.Materialize(day)
+	copy(x.snapCache[1:], x.snapCache[:snapCacheSize-1])
+	x.snapCache[0] = snap
+	return snap
+}
+
+// Materialize projects the population at one day into a freshly allocated
+// snapshot the caller owns, bypassing the shared-view cache.
+func (x *Index) Materialize(day simtime.Day) *dataset.Snapshot {
+	recs := make([]dataset.Record, x.n)
+	d := clampDay(day)
+	for i := range recs {
+		r := x.template[i]
+		if x.keyDay[i] <= d {
+			r.HasDNSKEY = true
+			r.HasRRSIG = true
+		}
+		if x.dsDay[i] <= d {
+			r.HasDS = true
+		}
+		if x.fullDay[i] <= d {
+			r.ChainValid = true
+		}
+		recs[i] = r
+	}
+	return &dataset.Snapshot{Day: day, Records: recs}
+}
+
+// Series computes the daily deployment series for one operator (all its
+// TLDs when tld == "") by sweeping cursors over the day-sorted event
+// groups: O(group events + days) total, independent of the rest of the
+// population. Unknown operators/TLDs yield all-zero points, matching the
+// legacy scan.
+func (x *Index) Series(operator, tld string, from, to simtime.Day, stepDays int) []analysis.SeriesPoint {
+	if stepDays <= 0 {
+		stepDays = 1
+	}
+	// One slice carries both the resolved groups and their advancing
+	// cursors, sized exactly, so a whole sweep costs two allocations.
+	type cursor struct {
+		g       *eventGroup
+		k, d, f int
+	}
+	var curs []cursor
+	if opID, ok := x.opIDs[operator]; ok {
+		if tld == "" {
+			ogs := x.opGroups[opID]
+			curs = make([]cursor, len(ogs))
+			for i, gi := range ogs {
+				curs[i].g = &x.groups[gi]
+			}
+		} else if tldID, ok := x.tldIDs[tld]; ok {
+			if gi, ok := x.groupIDs[groupKey(opID, tldID)]; ok {
+				curs = []cursor{{g: &x.groups[gi]}}
+			}
+		}
+	}
+	total := 0
+	for i := range curs {
+		total += curs[i].g.total
+	}
+	var out []analysis.SeriesPoint
+	if from <= to {
+		out = make([]analysis.SeriesPoint, 0, int(to-from)/stepDays+1)
+	}
+	// Each cursor only ever advances, so the whole sweep touches every
+	// event at most once regardless of the day range.
+	withKey, withDS, full := 0, 0, 0
+	for day := from; day <= to; day += simtime.Day(stepDays) {
+		d := clampDay(day)
+		for i := range curs {
+			c := &curs[i]
+			g := c.g
+			for c.k < len(g.keyDays) && g.keyDays[c.k] <= d {
+				c.k++
+				withKey++
+			}
+			for c.d < len(g.dsDays) && g.dsDays[c.d] <= d {
+				c.d++
+				withDS++
+			}
+			for c.f < len(g.fullDays) && g.fullDays[c.f] <= d {
+				c.f++
+				full++
+			}
+		}
+		out = append(out, analysis.SeriesPoint{
+			Day:        day,
+			Total:      total,
+			WithDNSKEY: withKey,
+			WithDS:     withDS,
+			Full:       full,
+		})
+	}
+	return out
+}
+
+// clampDay converts a simtime.Day to the int32 column domain. Days at or
+// past Never (including Never itself) saturate to never, preserving the
+// "has not happened" comparison semantics.
+func clampDay(day simtime.Day) int32 {
+	if day >= simtime.Never {
+		return never
+	}
+	return int32(day)
+}
+
+// DomainsByRegistrar tallies population per named registrar in the given
+// TLDs (all TLDs when none given), via the dense registrar ID column.
+func (x *Index) DomainsByRegistrar(tlds ...string) map[string]int {
+	return x.registrarCounts(never, tlds)
+}
+
+// DNSKEYByRegistrar tallies DNSKEY-publishing domains per named registrar
+// at the given day.
+func (x *Index) DNSKEYByRegistrar(day simtime.Day, tlds ...string) map[string]int {
+	return x.registrarCounts(clampDay(day), tlds)
+}
+
+// registrarCounts is the shared dense tally: keyedBy==never counts every
+// domain, otherwise only those with keyDay <= keyedBy.
+func (x *Index) registrarCounts(keyedBy int32, tlds []string) map[string]int {
+	tldMask := x.tldMask(tlds)
+	counts := make([]int32, len(x.regs))
+	for i := 0; i < x.n; i++ {
+		if x.regs[x.regID[i]] == "" {
+			continue
+		}
+		if tldMask != nil && !tldMask[x.tldID[i]] {
+			continue
+		}
+		if keyedBy != never && x.keyDay[i] > keyedBy {
+			continue
+		}
+		counts[x.regID[i]]++
+	}
+	out := map[string]int{}
+	for id, n := range counts {
+		if n > 0 {
+			out[x.regs[id]] = int(n)
+		}
+	}
+	return out
+}
+
+// tldMask resolves TLD names to a dense bitmap over interned IDs; nil
+// means "all TLDs". Unknown names simply match nothing.
+func (x *Index) tldMask(tlds []string) []bool {
+	if len(tlds) == 0 {
+		return nil
+	}
+	mask := make([]bool, len(x.tlds))
+	for _, t := range tlds {
+		if id, ok := x.tldIDs[t]; ok {
+			mask[id] = true
+		}
+	}
+	return mask
+}

@@ -1,0 +1,212 @@
+package tldsim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/colstore"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// randomWorld fabricates a world directly from random DomainStates,
+// covering state combinations the cohort machinery never produces (DS
+// without DNSKEY, broken+expired, Never in every slot).
+func randomWorld(rng *rand.Rand, n int) *World {
+	tlds := []string{"com", "net", "org", "nl", "se"}
+	ops := make([]string, 1+rng.Intn(10))
+	for i := range ops {
+		ops[i] = fmt.Sprintf("equiv-op%02d.example", i)
+	}
+	day := func() simtime.Day {
+		if rng.Intn(4) == 0 {
+			return simtime.Never
+		}
+		return simtime.Day(rng.Intn(900) - 100)
+	}
+	w := &World{}
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		reg := ""
+		if rng.Intn(2) == 0 {
+			reg = "Registrar-" + op
+		}
+		w.Domains = append(w.Domains, DomainState{
+			Name:       fmt.Sprintf("e%05d.%s", i, tlds[rng.Intn(len(tlds))]),
+			TLD:        tlds[rng.Intn(len(tlds))],
+			Operator:   op,
+			Registrar:  reg,
+			KeyDay:     day(),
+			DSDay:      day(),
+			BrokenDS:   rng.Intn(7) == 0,
+			ExpiredSig: rng.Intn(7) == 0,
+		})
+	}
+	return w
+}
+
+// equivWorlds yields the property-test population: the shared calibrated
+// world plus a batch of small adversarial random ones.
+func equivWorlds(t *testing.T, rng *rand.Rand) []*World {
+	worlds := []*World{testWorld(t)}
+	for i := 0; i < 8; i++ {
+		worlds = append(worlds, randomWorld(rng, rng.Intn(500)))
+	}
+	return worlds
+}
+
+func TestColstoreSeriesEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for wi, w := range equivWorlds(t, rng) {
+		for trial := 0; trial < 25; trial++ {
+			operator := "no-such-operator.example"
+			if len(w.Domains) > 0 && rng.Intn(5) > 0 {
+				operator = w.Domains[rng.Intn(len(w.Domains))].Operator
+			}
+			tld := ""
+			switch rng.Intn(3) {
+			case 1:
+				tld = AllTLDs[rng.Intn(len(AllTLDs))]
+			case 2:
+				tld = "nosuchtld"
+			}
+			from := simtime.Day(rng.Intn(1100) - 300)
+			to := from + simtime.Day(rng.Intn(600)-60)
+			step := rng.Intn(45) - 5
+			got := w.SeriesFor(operator, tld, from, to, step)
+			want := w.SeriesForLegacy(operator, tld, from, to, step)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("world %d trial %d: series diverges for op=%s tld=%q [%v,%v] step %d",
+					wi, trial, operator, tld, from, to, step)
+			}
+		}
+	}
+}
+
+func TestColstoreSnapshotEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for wi, w := range equivWorlds(t, rng) {
+		days := []simtime.Day{
+			simtime.GTLDStart, simtime.End, simtime.Never,
+			simtime.Day(rng.Intn(900) - 100),
+			simtime.Day(rng.Intn(900) - 100),
+		}
+		for _, day := range days {
+			got := w.SnapshotAt(day)
+			want := w.SnapshotAtLegacy(day)
+			if len(got.Records) != len(want.Records) {
+				t.Fatalf("world %d day %v: %d vs %d records", wi, day, len(got.Records), len(want.Records))
+			}
+			for i := range want.Records {
+				if !reflect.DeepEqual(got.Records[i], want.Records[i]) {
+					t.Fatalf("world %d day %v record %d:\ncolstore %+v\nlegacy   %+v",
+						wi, day, i, got.Records[i], want.Records[i])
+				}
+			}
+		}
+	}
+}
+
+func TestColstoreCDFAndOverviewEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	classes := []struct {
+		c Class
+		f analysis.Filter
+	}{
+		{colstore.ClassAny, analysis.All},
+		{colstore.ClassDNSKEY, analysis.WithDNSKEY},
+		{colstore.ClassPartial, analysis.PartiallyDeployed},
+		{colstore.ClassFull, analysis.FullyDeployed},
+	}
+	for wi, w := range equivWorlds(t, rng) {
+		day := simtime.Day(rng.Intn(800))
+		snap := w.SnapshotAtLegacy(day)
+		for _, tlds := range [][]string{nil, GTLDs, {"se"}} {
+			tf := analysis.All
+			if tlds != nil {
+				set := map[string]bool{}
+				for _, t := range tlds {
+					set[t] = true
+				}
+				tf = func(r *dataset.Record) bool { return set[r.TLD] }
+			}
+			for _, cl := range classes {
+				got := w.Index().OperatorCDF(day, cl.c, tlds...)
+				want := analysis.OperatorCDF(snap, analysis.And(tf, cl.f))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("world %d day %v tlds %v: CDF diverges from analysis oracle", wi, day, tlds)
+				}
+			}
+		}
+		gotOv := w.Index().Overview(day, AllTLDs)
+		wantOv := analysis.Overview(snap, AllTLDs)
+		if !reflect.DeepEqual(gotOv, wantOv) {
+			t.Fatalf("world %d day %v: overview diverges\ngot  %v\nwant %v", wi, day, gotOv, wantOv)
+		}
+	}
+}
+
+// Class aliases colstore.Class for the table above.
+type Class = colstore.Class
+
+func TestColstoreRegistrarTallyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for wi, w := range equivWorlds(t, rng) {
+		for _, tlds := range [][]string{nil, GTLDs, {"nl", "se"}} {
+			legacyAll := map[string]int{}
+			legacyKeyed := map[string]int{}
+			want := map[string]bool{}
+			for _, t := range tlds {
+				want[t] = true
+			}
+			for i := range w.Domains {
+				d := &w.Domains[i]
+				if d.Registrar == "" || (len(want) > 0 && !want[d.TLD]) {
+					continue
+				}
+				legacyAll[d.Registrar]++
+				if d.KeyDay <= simtime.End {
+					legacyKeyed[d.Registrar]++
+				}
+			}
+			if got := w.DomainsByRegistrar(tlds...); !reflect.DeepEqual(got, legacyAll) {
+				t.Fatalf("world %d tlds %v: DomainsByRegistrar diverges", wi, tlds)
+			}
+			if got := w.DNSKEYDomainsByRegistrar(simtime.End, tlds...); !reflect.DeepEqual(got, legacyKeyed) {
+				t.Fatalf("world %d tlds %v: DNSKEYDomainsByRegistrar diverges", wi, tlds)
+			}
+		}
+	}
+}
+
+// TestWorldSnapshotAllocs is the alloc-regression guard on the interned
+// snapshot path: the legacy projection allocated an NS-host slice (plus
+// the "ns1."+op concatenation) per record per day; the columnar path must
+// stay O(1) allocations per snapshot.
+func TestWorldSnapshotAllocs(t *testing.T) {
+	w := testWorld(t)
+	w.Index() // build outside the measured region
+	allocs := testing.AllocsPerRun(5, func() {
+		if snap := w.SnapshotAt(simtime.End); len(snap.Records) == 0 {
+			t.Fatal("empty snapshot")
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("SnapshotAt allocates %.1f objects per call, want <= 4 (was O(records) before colstore)", allocs)
+	}
+	// RecordAt itself must no longer allocate the NS-host slice: one
+	// shared slice per operator, zero allocations per projection.
+	d := &w.Domains[0]
+	recAllocs := testing.AllocsPerRun(100, func() {
+		r := d.RecordAt(simtime.End)
+		if r.Domain == "" {
+			t.Fatal("bad record")
+		}
+	})
+	if recAllocs > 0 {
+		t.Errorf("RecordAt allocates %.1f objects per call, want 0", recAllocs)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/colstore"
 	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/simtime"
 )
@@ -62,6 +64,20 @@ type DomainState struct {
 	ExpiredSig bool
 }
 
+// nsHostsCache interns the one-element NS-host slice per operator, so
+// projecting a domain onto a day shares one slice per operator instead of
+// allocating a fresh one per record per day. Callers must treat the
+// returned slice as immutable.
+var nsHostsCache sync.Map // operator -> []string
+
+func nsHostsFor(operator string) []string {
+	if v, ok := nsHostsCache.Load(operator); ok {
+		return v.([]string)
+	}
+	v, _ := nsHostsCache.LoadOrStore(operator, []string{nsFor(operator)})
+	return v.([]string)
+}
+
 // RecordAt projects the domain onto one measurement day.
 func (d *DomainState) RecordAt(day simtime.Day) dataset.Record {
 	hasKey := d.KeyDay <= day
@@ -69,7 +85,7 @@ func (d *DomainState) RecordAt(day simtime.Day) dataset.Record {
 	return dataset.Record{
 		Domain:     d.Name,
 		TLD:        d.TLD,
-		NSHosts:    []string{nsFor(d.Operator)},
+		NSHosts:    nsHostsFor(d.Operator),
 		Operator:   d.Operator,
 		HasDNSKEY:  hasKey,
 		HasRRSIG:   hasKey,
@@ -84,6 +100,39 @@ type World struct {
 	Domains []DomainState
 	// Cohorts are the resolved (scaled) cohorts, named then tail.
 	Cohorts []Cohort
+
+	// idx is the lazily built columnar analytics index over Domains; every
+	// snapshot/series/aggregation query routes through it. Build once —
+	// Domains are immutable after generation.
+	idxOnce sync.Once
+	idx     *colstore.Index
+}
+
+// Index returns the world's columnar analytics engine, building it on
+// first use. The build interns operators/TLDs/registrars into dense IDs,
+// lays the population out as fixed-width day columns, and day-sorts the
+// per-(operator, TLD) adoption event lists the incremental series sweep
+// runs on.
+func (w *World) Index() *colstore.Index {
+	w.idxOnce.Do(func() {
+		b := colstore.NewBuilder(len(w.Domains))
+		for i := range w.Domains {
+			d := &w.Domains[i]
+			b.Add(colstore.Domain{
+				Name:       d.Name,
+				TLD:        d.TLD,
+				Operator:   d.Operator,
+				Registrar:  d.Registrar,
+				NSHost:     nsFor(d.Operator),
+				KeyDay:     d.KeyDay,
+				DSDay:      d.DSDay,
+				BrokenDS:   d.BrokenDS,
+				ExpiredSig: d.ExpiredSig,
+			})
+		}
+		w.idx = b.Build()
+	})
+	return w.idx
 }
 
 // tailDSByTLD encodes how the anonymous tail handles DS records: gTLD tail
@@ -280,8 +329,18 @@ func solveExponent(k int, ratio float64) float64 {
 	return (lo + hi) / 2
 }
 
-// SnapshotAt projects the whole world onto one day.
+// SnapshotAt projects the whole world onto one day through the columnar
+// engine: a prebuilt record template is copied and only the day-dependent
+// booleans are patched, with one shared NS-host slice per operator.
 func (w *World) SnapshotAt(day simtime.Day) *dataset.Snapshot {
+	return w.Index().Snapshot(day)
+}
+
+// SnapshotAtLegacy is the original record-at-a-time projection, retained
+// as the reference oracle for the columnar engine: equivalence tests
+// assert SnapshotAt output is identical, and regsec-bench measures the
+// speedup against it.
+func (w *World) SnapshotAtLegacy(day simtime.Day) *dataset.Snapshot {
 	snap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(w.Domains))}
 	for i := range w.Domains {
 		snap.Records = append(snap.Records, w.Domains[i].RecordAt(day))
@@ -290,9 +349,17 @@ func (w *World) SnapshotAt(day simtime.Day) *dataset.Snapshot {
 }
 
 // SeriesFor computes a daily deployment series for one operator (all its
-// TLDs when tld == "", one otherwise) without materializing snapshots:
-// key/DS days are sorted once and each day is two binary searches.
+// TLDs when tld == "", one otherwise) on the columnar engine: the
+// operator's day-sorted event groups are swept once with advancing
+// cursors, so an N-day series costs O(operator events + days) instead of
+// a full population scan plus per-query sorting.
 func (w *World) SeriesFor(operator, tld string, from, to simtime.Day, stepDays int) []analysis.SeriesPoint {
+	return w.Index().Series(operator, tld, from, to, stepDays)
+}
+
+// SeriesForLegacy is the original full-scan series computation, retained
+// as the reference oracle for the incremental engine.
+func (w *World) SeriesForLegacy(operator, tld string, from, to simtime.Day, stepDays int) []analysis.SeriesPoint {
 	if stepDays <= 0 {
 		stepDays = 1
 	}
@@ -353,41 +420,14 @@ func OperatorsOf(registrarName string) []string {
 }
 
 // DomainsByRegistrar tallies scaled population per named registrar in the
-// given TLDs (for the Table 2 "Domains" column).
+// given TLDs (for the Table 2 "Domains" column), via the dense registrar
+// ID column.
 func (w *World) DomainsByRegistrar(tlds ...string) map[string]int {
-	want := map[string]bool{}
-	for _, t := range tlds {
-		want[t] = true
-	}
-	out := map[string]int{}
-	for i := range w.Domains {
-		d := &w.Domains[i]
-		if d.Registrar == "" {
-			continue
-		}
-		if len(want) == 0 || want[d.TLD] {
-			out[d.Registrar]++
-		}
-	}
-	return out
+	return w.Index().DomainsByRegistrar(tlds...)
 }
 
 // DNSKEYDomainsByRegistrar tallies DNSKEY-publishing domains per named
 // registrar at the given day (for the Table 3 column).
 func (w *World) DNSKEYDomainsByRegistrar(day simtime.Day, tlds ...string) map[string]int {
-	want := map[string]bool{}
-	for _, t := range tlds {
-		want[t] = true
-	}
-	out := map[string]int{}
-	for i := range w.Domains {
-		d := &w.Domains[i]
-		if d.Registrar == "" || d.KeyDay > day {
-			continue
-		}
-		if len(want) == 0 || want[d.TLD] {
-			out[d.Registrar]++
-		}
-	}
-	return out
+	return w.Index().DNSKEYByRegistrar(day, tlds...)
 }

@@ -23,6 +23,7 @@ import (
 
 	"securepki.org/registrarsec/internal/analysis"
 	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/colstore"
 	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/dnssec"
 	"securepki.org/registrarsec/internal/dnsserver"
@@ -191,21 +192,20 @@ func (s *Study) SurveyTable4() []SurveyRow {
 	return probe.Survey(regs, s.Agents, tldsim.AllTLDs)
 }
 
-// Table1 computes the dataset overview at the end of the window.
+// Table1 computes the dataset overview at the end of the window on the
+// columnar engine — no snapshot materialization, sharded parallel tally.
 func (s *Study) Table1() []TLDOverview {
-	snap := s.World.SnapshotAt(simtime.End)
-	return analysis.Overview(snap, tldsim.AllTLDs)
+	return s.World.Index().Overview(simtime.End, tldsim.AllTLDs)
 }
 
-// Figure3 computes the three operator CDFs of Figure 3 over the gTLDs.
+// Figure3 computes the three operator CDFs of Figure 3 over the gTLDs,
+// counting per dense operator ID instead of rebuilding string-keyed maps
+// from a materialized snapshot.
 func (s *Study) Figure3() (all, partial, full []CDFPoint) {
-	snap := s.World.SnapshotAt(simtime.End)
-	inGTLD := func(r *dataset.Record) bool {
-		return r.TLD == "com" || r.TLD == "net" || r.TLD == "org"
-	}
-	all = analysis.OperatorCDF(snap, inGTLD)
-	partial = analysis.OperatorCDF(snap, analysis.And(inGTLD, analysis.PartiallyDeployed))
-	full = analysis.OperatorCDF(snap, analysis.And(inGTLD, analysis.FullyDeployed))
+	idx := s.World.Index()
+	all = idx.OperatorCDF(simtime.End, colstore.ClassAny, tldsim.GTLDs...)
+	partial = idx.OperatorCDF(simtime.End, colstore.ClassPartial, tldsim.GTLDs...)
+	full = idx.OperatorCDF(simtime.End, colstore.ClassFull, tldsim.GTLDs...)
 	return all, partial, full
 }
 
