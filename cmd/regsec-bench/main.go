@@ -1,31 +1,49 @@
 // Command regsec-bench measures the columnar analytics engine against the
 // legacy record-materializing path over a generated world and writes the
 // BENCH_colstore.json baseline, so the engine's trajectory is tracked
-// across PRs. CI runs it on every push and archives the JSON as an
-// artifact.
+// across PRs. It also benchmarks the DNS exchange stack — repeated scans
+// through the cache+dedup middleware versus the bare retry path — and
+// writes BENCH_exchange.json. CI runs both on every push and archives the
+// JSON files as artifacts.
 //
 // Usage:
 //
 //	regsec-bench [-scale 1000] [-seed 1] [-o BENCH_colstore.json] [-compare old.json]
+//	             [-exchange-o BENCH_exchange.json] [-exchange-sample 400] [-exchange-passes 3]
 //
-// Each workload is benchmarked in its colstore and legacy variants via
-// testing.Benchmark; the emitted file carries ns/op, allocs/op, B/op and
-// the legacy/colstore speedup per workload. With -compare the run is also
-// diffed against a previous baseline and regressions are reported (exit 1
-// when a workload slowed by more than 2x, so CI can gate on it).
+// Each analytics workload is benchmarked in its colstore and legacy
+// variants via testing.Benchmark; the emitted file carries ns/op,
+// allocs/op, B/op and the legacy/colstore speedup per workload. With
+// -compare the run is also diffed against a previous baseline and
+// regressions are reported (exit 1 when a workload slowed by more than 2x,
+// so CI can gate on it).
+//
+// The exchange section re-scans one materialized day several times (one
+// cold pass, the rest warm) with and without the cache+dedup layers,
+// verifying the scan output is identical and gating on the transport-
+// exchange reduction (exit 1 below -exchange-min-reduction, default 2x).
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"securepki.org/registrarsec/internal/analysis"
 	"securepki.org/registrarsec/internal/colstore"
 	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
+	"securepki.org/registrarsec/internal/retry"
+	"securepki.org/registrarsec/internal/scan"
 	"securepki.org/registrarsec/internal/simtime"
 	"securepki.org/registrarsec/internal/tldsim"
 )
@@ -39,6 +57,10 @@ func run() int {
 	seed := flag.Int64("seed", 1, "world seed")
 	outPath := flag.String("o", "BENCH_colstore.json", "baseline output path")
 	compare := flag.String("compare", "", "previous baseline to diff against")
+	exchangeOut := flag.String("exchange-o", "BENCH_exchange.json", "exchange-stack baseline output path (empty disables)")
+	exchangeSample := flag.Int("exchange-sample", 400, "domains materialized for the exchange benchmark")
+	exchangePasses := flag.Int("exchange-passes", 3, "same-day scan passes (first cold, rest warm)")
+	exchangeMinReduction := flag.Float64("exchange-min-reduction", 2, "minimum cached/uncached transport-exchange reduction (exit 1 below it)")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "building world (scale 1/%.0f, seed %d)...\n", *scaleDiv, *seed)
@@ -184,6 +206,227 @@ func run() int {
 		if regressed {
 			return 1
 		}
+	}
+
+	if *exchangeOut != "" {
+		if code := runExchangeBench(world, exchangeBenchConfig{
+			ScaleDivisor: *scaleDiv,
+			Seed:         *seed,
+			Sample:       *exchangeSample,
+			Passes:       *exchangePasses,
+			MinReduction: *exchangeMinReduction,
+			OutPath:      *exchangeOut,
+		}); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// exchangeBenchConfig parameterizes the exchange-stack benchmark.
+type exchangeBenchConfig struct {
+	ScaleDivisor float64
+	Seed         int64
+	Sample       int
+	Passes       int
+	MinReduction float64
+	OutPath      string
+}
+
+// exchangeBaseline is the BENCH_exchange.json schema: transport-level
+// accounting for the same scan workload through the bare retry path and
+// through the cache+dedup stack, plus a synthetic concurrent-duplicate
+// workload isolating the dedup layer.
+type exchangeBaseline struct {
+	Schema       string  `json:"schema"`
+	ScaleDivisor float64 `json:"scale_divisor"`
+	Seed         int64   `json:"seed"`
+	Sample       int     `json:"sample"`
+	Passes       int     `json:"passes"`
+	Workers      int     `json:"workers"`
+
+	// Uncached and Cached are the cumulative stack counters after all
+	// passes of the respective configuration.
+	Uncached exchange.Counters `json:"uncached"`
+	Cached   exchange.Counters `json:"cached"`
+	// TransportReduction is uncached/cached transport exchanges.
+	TransportReduction float64 `json:"transport_reduction"`
+	// IdenticalOutput records that every cached pass produced the same
+	// canonicalized snapshot as its uncached counterpart.
+	IdenticalOutput bool `json:"identical_output"`
+
+	// DedupOffExchanges / DedupOnExchanges count transport exchanges for
+	// the concurrent-duplicate workload with the dedup layer off and on.
+	DedupOffExchanges int64 `json:"dedup_off_exchanges"`
+	DedupOnExchanges  int64 `json:"dedup_on_exchanges"`
+	DedupCoalesced    int64 `json:"dedup_coalesced"`
+}
+
+const exchangeBaselineSchema = "regsec-bench-exchange/1"
+
+// canonicalTSV serializes a snapshot with records in domain order, so
+// snapshots from sweeps with different worker interleavings compare equal
+// exactly when they observed the same things.
+func canonicalTSV(snap *dataset.Snapshot) (string, error) {
+	c := &dataset.Snapshot{Day: snap.Day, Records: append([]dataset.Record(nil), snap.Records...)}
+	sort.Slice(c.Records, func(i, j int) bool { return c.Records[i].Domain < c.Records[j].Domain })
+	var buf bytes.Buffer
+	if err := c.WriteTSV(&buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// runExchangeBench measures the resolve path: the same full-sample scan
+// repeated cfg.Passes times over one materialized day, through the bare
+// retry-only stack and through cache+dedup. The first cached pass is cold;
+// the rest ride the warm cache (same-day re-scans keep it, per the
+// scanner's flush-on-day-change contract).
+func runExchangeBench(world *tldsim.World, cfg exchangeBenchConfig) int {
+	const workers = 8
+	fmt.Fprintf(os.Stderr, "exchange bench: materializing %d domains...\n", cfg.Sample)
+	domains := world.Sample(cfg.Sample, cfg.Seed)
+	day := simtime.End
+	mat, err := tldsim.Materialize(day, domains)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	targets := make([]scan.Target, 0, len(domains))
+	for _, d := range domains {
+		targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
+	}
+
+	run := func(cached bool) ([]string, exchange.Counters, error) {
+		sc := scan.Config{
+			Exchange:   mat.Net,
+			TLDServers: mat.TLDServers,
+			Workers:    workers,
+			Clock:      func() simtime.Day { return day },
+			Retry:      retry.Policy{MaxAttempts: 3},
+		}
+		if cached {
+			sc.Cache = &exchange.CacheOptions{}
+			sc.Dedup = true
+		}
+		s, err := scan.New(sc)
+		if err != nil {
+			return nil, exchange.Counters{}, err
+		}
+		var tsvs []string
+		for p := 0; p < cfg.Passes; p++ {
+			snap, _, err := s.ScanDay(context.Background(), day, targets)
+			if err != nil {
+				return nil, exchange.Counters{}, err
+			}
+			tsv, err := canonicalTSV(snap)
+			if err != nil {
+				return nil, exchange.Counters{}, err
+			}
+			tsvs = append(tsvs, tsv)
+		}
+		return tsvs, s.Stack().Counters(), nil
+	}
+
+	plainTSVs, plainCounters, err := run(false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cachedTSVs, cachedCounters, err := run(true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	identical := true
+	for p := range plainTSVs {
+		if plainTSVs[p] != cachedTSVs[p] {
+			identical = false
+			fmt.Fprintf(os.Stderr, "exchange bench: pass %d output DIVERGED between cached and uncached stacks\n", p)
+		}
+	}
+	reduction := 0.0
+	if cachedCounters.Transport.Exchanges > 0 {
+		reduction = float64(plainCounters.Transport.Exchanges) / float64(cachedCounters.Transport.Exchanges)
+	}
+
+	// Dedup in isolation: every worker asks the same question at the same
+	// moment, so identical queries are genuinely in flight together — the
+	// singleflight case a scan's distinct qnames rarely trigger. The
+	// in-memory transport answers in well under a microsecond, which is no
+	// in-flight window at all, so it gets a network-realistic RTT.
+	dedupRun := func(on bool) (int64, int64) {
+		rtt := exchange.Func(func(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+			time.Sleep(200 * time.Microsecond)
+			return mat.Net.Exchange(ctx, server, q)
+		})
+		st, err := exchange.Build(exchange.Options{Transport: rtt, Dedup: on})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 0, 0
+		}
+		for i, t := range targets {
+			server, ok := mat.TLDServers[t.TLD]
+			if !ok {
+				continue
+			}
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					q := dnswire.NewQuery(uint16(w*len(targets)+i), t.Domain, dnswire.TypeNS)
+					<-start
+					st.Exchange(context.Background(), server, q)
+				}(w)
+			}
+			close(start)
+			wg.Wait()
+		}
+		c := st.Counters()
+		return c.Transport.Exchanges, c.Dedup.Hits
+	}
+	dedupOff, _ := dedupRun(false)
+	dedupOn, coalesced := dedupRun(true)
+
+	baseline := &exchangeBaseline{
+		Schema:             exchangeBaselineSchema,
+		ScaleDivisor:       cfg.ScaleDivisor,
+		Seed:               cfg.Seed,
+		Sample:             cfg.Sample,
+		Passes:             cfg.Passes,
+		Workers:            workers,
+		Uncached:           plainCounters,
+		Cached:             cachedCounters,
+		TransportReduction: reduction,
+		IdenticalOutput:    identical,
+		DedupOffExchanges:  dedupOff,
+		DedupOnExchanges:   dedupOn,
+		DedupCoalesced:     coalesced,
+	}
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(cfg.OutPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "exchange: uncached %d vs cached %d transport exchanges (%.1fx reduction), cache %d/%d hit, dedup coalesced %d/%d\n",
+		plainCounters.Transport.Exchanges, cachedCounters.Transport.Exchanges, reduction,
+		cachedCounters.Cache.Hits, cachedCounters.Cache.Hits+cachedCounters.Cache.Misses,
+		coalesced, dedupOff)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", cfg.OutPath)
+
+	if !identical {
+		return 1
+	}
+	if reduction < cfg.MinReduction {
+		fmt.Fprintf(os.Stderr, "exchange bench: transport reduction %.2fx below the %.1fx gate\n", reduction, cfg.MinReduction)
+		return 1
 	}
 	return 0
 }

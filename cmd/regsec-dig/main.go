@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	regsec-dig [-dnssec] [-timeout 3s] @server:port NAME [TYPE]
+//	regsec-dig [-dnssec] [-timeout 3s] [-retries 1] @server:port NAME [TYPE]
 //
 // Example against a local regsec-server:
 //
@@ -23,11 +23,14 @@ import (
 
 	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
+	"securepki.org/registrarsec/internal/retry"
 )
 
 func main() {
 	dnssecOK := flag.Bool("dnssec", false, "set the DO bit and request RRSIGs")
 	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
+	retries := flag.Int("retries", 1, "per-query attempt budget (lame and truncated answers retried when >1)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] @server:port NAME [TYPE]\n", os.Args[0])
 		flag.PrintDefaults()
@@ -54,15 +57,28 @@ func main() {
 	if *dnssecOK {
 		q.SetEDNS(4096, true)
 	}
-	ex := &dnsserver.NetExchanger{Timeout: *timeout}
-	ctx, cancel := context.WithTimeout(context.Background(), 2**timeout)
+	st, err := exchange.Build(exchange.Options{
+		Transport:      &dnsserver.NetExchanger{Timeout: *timeout},
+		Retry:          &retry.Policy{MaxAttempts: *retries},
+		RetryLame:      true,
+		RetryTruncated: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building exchange stack: %v\n", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*retries+1)**timeout)
 	defer cancel()
 	start := time.Now()
-	resp, err := ex.Exchange(ctx, server, q)
+	resp, err := st.Exchange(ctx, server, q)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "query failed: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Print(resp.String())
-	fmt.Printf(";; query time: %v, server: %s\n", time.Since(start).Round(time.Microsecond), server)
+	fmt.Printf(";; query time: %v, server: %s", time.Since(start).Round(time.Microsecond), server)
+	if c := st.Counters(); c.Retry.Retries > 0 {
+		fmt.Printf(" (%d retries)", c.Retry.Retries)
+	}
+	fmt.Println()
 }

@@ -7,6 +7,7 @@
 //
 //	regsec-scan [-scale 2000] [-seed 1] [-days 2016-06-01,2016-12-31] [-sample 1000] [-workers 16] [-o archive.tsv]
 //	            [-retries 3] [-resweeps 2] [-fault-frac 0.5] [-fault-loss 0.2] [-fault-seed 1]
+//	            [-cache] [-dedup]
 //	            [-checkpoint-dir state/] [-resume] [-shards 4]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -37,7 +38,7 @@ import (
 	"time"
 
 	"securepki.org/registrarsec/internal/checkpoint"
-	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/faultnet"
 	"securepki.org/registrarsec/internal/profdump"
 	"securepki.org/registrarsec/internal/retry"
@@ -62,6 +63,8 @@ func run() int {
 	faultFrac := flag.Float64("fault-frac", 0, "fraction of DNS operators made faulty (0 disables injection)")
 	faultLoss := flag.Float64("fault-loss", 0.2, "packet-loss probability on faulty operators")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
+	useCache := flag.Bool("cache", false, "enable the TTL-respecting response cache in the exchange stack")
+	useDedup := flag.Bool("dedup", false, "coalesce concurrent identical queries in the exchange stack")
 	cpDir := flag.String("checkpoint-dir", "", "directory for durable sweep checkpoints (enables crash-safe resume)")
 	resume := flag.Bool("resume", false, "continue from an existing checkpoint in -checkpoint-dir")
 	shards := flag.Int("shards", 4, "checkpoint units per day (granularity of resume)")
@@ -131,14 +134,22 @@ func run() int {
 		if err != nil {
 			return nil, nil, err
 		}
-		var exchange dnsserver.Exchanger = mat.Net
+		var mw []exchange.Middleware
 		if *faultFrac > 0 {
 			rules, faulty := tldsim.LossyOperators(domains, *faultFrac, *faultLoss, *faultSeed)
-			exchange = faultnet.New(mat.Net, *faultSeed, func() simtime.Day { return day }, rules...)
+			inj := faultnet.New(nil, *faultSeed, func() simtime.Day { return day }, rules...)
+			mw = append(mw, inj.Middleware())
 			fmt.Fprintf(os.Stderr, "injecting %.0f%% loss on %d operator(s)\n", *faultLoss*100, len(faulty))
 		}
+		var cacheOpts *exchange.CacheOptions
+		if *useCache {
+			cacheOpts = &exchange.CacheOptions{}
+		}
 		scanner, err := scan.New(scan.Config{
-			Exchange:    exchange,
+			Exchange:    mat.Net,
+			Middleware:  mw,
+			Dedup:       *useDedup,
+			Cache:       cacheOpts,
 			TLDServers:  mat.TLDServers,
 			Workers:     *workers,
 			Clock:       func() simtime.Day { return day },
@@ -180,8 +191,10 @@ func run() int {
 		return 1
 	}
 	var queries int64
+	var stackTotals exchange.Counters
 	for _, s := range scanners {
 		queries += s.Queries()
+		stackTotals = stackTotals.Add(s.Stack().Counters())
 	}
 
 	if *outPath != "" {
@@ -218,5 +231,6 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d records across %d day(s) in %v (%d DNS queries)\n",
 		total, store.Len(), time.Since(start).Round(time.Millisecond), queries)
+	fmt.Fprintf(os.Stderr, "exchange stack: %s\n", stackTotals)
 	return 0
 }

@@ -1,6 +1,7 @@
 package registrarsec_test
 
 import (
+	"context"
 	"fmt"
 
 	"securepki.org/registrarsec"
@@ -39,7 +40,7 @@ func ExampleNewStudy() {
 		fmt.Println(err)
 		return
 	}
-	obs, err := study.Prober().Run(study.Agents["godaddy"])
+	obs, err := study.Prober().Run(context.Background(), study.Agents["godaddy"])
 	if err != nil {
 		fmt.Println(err)
 		return

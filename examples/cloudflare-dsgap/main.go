@@ -89,7 +89,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if i%10 < 6 { // 60% complete the relay
-			if err := reg.SubmitDSWeb(email, domain, ds); err != nil {
+			if err := reg.SubmitDSWeb(context.Background(), email, domain, ds); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 
 	for _, id := range []string{"godaddy", "ovh", "binero"} {
 		agent := study.Agents[id]
-		obs, err := prober.Run(agent)
+		obs, err := prober.Run(context.Background(), agent)
 		if err != nil {
 			log.Fatalf("probing %s: %v", id, err)
 		}

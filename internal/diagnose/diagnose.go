@@ -16,8 +16,8 @@ import (
 	"time"
 
 	"securepki.org/registrarsec/internal/dnssec"
-	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
 )
 
 // Severity grades a finding.
@@ -94,7 +94,7 @@ func (r *Report) add(sev Severity, code Code, format string, args ...any) {
 // Checker runs diagnostics through an exchanger.
 type Checker struct {
 	// Exchange issues queries.
-	Exchange dnsserver.Exchanger
+	Exchange exchange.Exchanger
 	// ParentServer answers NS/DS queries for the domain (the TLD server).
 	ParentServer string
 	// Now anchors signature-window checks (time.Now when nil).

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
 )
 
 // MemNet is an in-memory "network" of DNS servers keyed by address. It lets
@@ -27,8 +28,12 @@ type MemNet struct {
 	queries atomic.Int64
 }
 
-// ErrNoRoute reports an exchange to an unregistered address.
-var ErrNoRoute = errors.New("dnsserver: no route to server")
+// ErrNoRoute reports an exchange to an unregistered address. It is the
+// same error value as exchange.ErrNoRoute, so errors.Is matches across
+// both names.
+//
+// Deprecated: use exchange.ErrNoRoute.
+var ErrNoRoute = exchange.ErrNoRoute
 
 // NewMemNet creates an empty in-memory network.
 func NewMemNet() *MemNet {

@@ -1,110 +1,36 @@
 package dnsserver
 
 import (
-	"context"
-	"errors"
-	"sync/atomic"
-
-	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/retry"
 )
 
-// RetryingExchanger wraps an Exchanger with the retry.Policy discipline:
-// transport errors (and optionally lame rcodes and truncation) are retried
-// against the same server up to the attempt budget, with exponential
-// backoff and deterministic jitter between attempts. It is the resilience
-// seam of the measurement path — the scan engine and resolver both speak
-// through it so a flaky server costs retries, not records.
+// RetryingExchanger is the historical name of the retry middleware, which
+// now lives in internal/exchange as part of the composable query stack.
 //
-// Counters are cumulative and safe for concurrent use; the scan engine
-// samples them around each sweep to fill its SweepHealth report.
-type RetryingExchanger struct {
-	inner Exchanger
-	doer  *retry.Doer
-
-	// retryLame retries SERVFAIL/REFUSED responses, treating them as
-	// transient lameness. When the budget runs out the last lame response
-	// is returned (not an error) so callers keep their rcode semantics.
-	retryLame bool
-	// retryTruncated retries truncated responses. The in-memory transport
-	// has no TCP fallback, so re-asking is how a TC'd exchange recovers;
-	// NetExchanger does its own TCP fallback and should leave this off.
-	retryTruncated bool
-
-	retries  atomic.Int64
-	failures atomic.Int64
-}
+// Deprecated: use exchange.NewRetry, or assemble a full stack with
+// exchange.Build.
+type RetryingExchanger = exchange.Retry
 
 // RetryOption tunes a RetryingExchanger.
-type RetryOption func(*RetryingExchanger)
+//
+// Deprecated: use exchange.RetryOption.
+type RetryOption = exchange.RetryOption
 
 // RetryLame makes SERVFAIL/REFUSED responses count as retryable.
-func RetryLame() RetryOption { return func(e *RetryingExchanger) { e.retryLame = true } }
+//
+// Deprecated: use exchange.RetryLame.
+func RetryLame() RetryOption { return exchange.RetryLame() }
 
 // RetryTruncated makes TC=1 responses count as retryable (for transports
 // without a TCP fallback of their own).
-func RetryTruncated() RetryOption { return func(e *RetryingExchanger) { e.retryTruncated = true } }
+//
+// Deprecated: use exchange.RetryTruncated.
+func RetryTruncated() RetryOption { return exchange.RetryTruncated() }
 
 // NewRetrying wraps inner with the policy (zero fields get retry defaults).
+//
+// Deprecated: use exchange.NewRetry.
 func NewRetrying(inner Exchanger, p retry.Policy, opts ...RetryOption) *RetryingExchanger {
-	e := &RetryingExchanger{inner: inner, doer: retry.NewDoer(p)}
-	for _, opt := range opts {
-		opt(e)
-	}
-	return e
-}
-
-// Retries reports the cumulative retry attempts (attempts beyond each
-// query's first).
-func (e *RetryingExchanger) Retries() int64 { return e.retries.Load() }
-
-// Failures reports the cumulative exchanges that failed after exhausting
-// their attempt budget.
-func (e *RetryingExchanger) Failures() int64 { return e.failures.Load() }
-
-// errSoftResponse wraps a response whose rcode/TC makes it retryable; if
-// the budget runs out the response itself is still returned to the caller.
-type errSoftResponse struct{ resp *dnswire.Message }
-
-func (errSoftResponse) Error() string { return "dnsserver: retryable response" }
-
-// retryable rejects permanent conditions: a dead context and an address
-// with no route (an unregistered in-memory server stays unregistered; real
-// scheduled outages surface as timeouts, which are retryable).
-func retryable(err error) bool {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrNoRoute) {
-		return false
-	}
-	return true
-}
-
-// Exchange implements Exchanger with retries.
-func (e *RetryingExchanger) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
-	var resp *dnswire.Message
-	err := e.doer.Do(ctx, retryable, func(attempt int) error {
-		if attempt > 0 {
-			e.retries.Add(1)
-		}
-		m, err := e.inner.Exchange(ctx, server, q)
-		if err != nil {
-			return err
-		}
-		if (e.retryLame && (m.RCode == dnswire.RCodeServerFailure || m.RCode == dnswire.RCodeRefused)) ||
-			(e.retryTruncated && m.Truncated) {
-			return errSoftResponse{resp: m}
-		}
-		resp = m
-		return nil
-	})
-	if err != nil {
-		var soft errSoftResponse
-		if errors.As(err, &soft) {
-			// Budget exhausted on a lame/truncated answer: hand the caller
-			// the response it would have seen without the retry layer.
-			return soft.resp, nil
-		}
-		e.failures.Add(1)
-		return nil, err
-	}
-	return resp, nil
+	return exchange.NewRetry(inner, p, opts...)
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
 )
 
 // Server runs a Handler over real UDP and TCP sockets on the same address,
@@ -313,12 +314,13 @@ func writeTCPMessage(w io.Writer, msg []byte) error {
 }
 
 // Exchanger issues one DNS query to a named server and returns the
-// response. It is the seam between the resolver and the transport: the
-// production implementation speaks UDP/TCP, the simulation implementation
-// dispatches in memory.
-type Exchanger interface {
-	Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error)
-}
+// response. The canonical definition now lives in internal/exchange, which
+// also provides the middleware stack (retry, dedup, cache, health) that
+// composes around any transport; this alias keeps dnsserver-facing code
+// compiling unchanged.
+//
+// Deprecated: use exchange.Exchanger.
+type Exchanger = exchange.Exchanger
 
 // NetExchanger sends queries over UDP with TCP fallback on truncation.
 type NetExchanger struct {

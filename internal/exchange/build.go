@@ -1,0 +1,145 @@
+package exchange
+
+import (
+	"errors"
+
+	"securepki.org/registrarsec/internal/retry"
+)
+
+// Options selects which middleware layers Build assembles around a
+// transport. The zero value (plus a Transport) yields a bare accounting
+// stack: Tap → Transport.
+type Options struct {
+	// Transport is the innermost Exchanger (required): NetExchanger for
+	// real networks, MemNet for the simulation.
+	Transport Exchanger
+
+	// Middleware is applied between Retry and the Tap, first element
+	// outermost. This is where a fault injector composes: below the retry
+	// budget (so injected faults consume attempts exactly as real ones
+	// would) and above the Tap (so every injected draw is an accounted
+	// transport exchange).
+	Middleware []Middleware
+
+	// Retry, when non-nil, adds the Retry layer with this policy.
+	Retry *retry.Policy
+	// RetryLame and RetryTruncated tune the Retry layer (ignored without
+	// Retry).
+	RetryLame, RetryTruncated bool
+
+	// Health, when non-nil, adds the per-server breaker/bookkeeping layer.
+	Health *HealthOptions
+
+	// Dedup adds the in-flight singleflight layer.
+	Dedup bool
+
+	// Cache, when non-nil, adds the TTL message cache.
+	Cache *CacheOptions
+}
+
+// Stack is an assembled exchange path. It is itself an Exchanger (the
+// outermost layer), with typed handles to each optional layer — nil when
+// the layer was not selected — so callers can read counters, flush the
+// cache, or consult server health without re-plumbing.
+type Stack struct {
+	Exchanger
+
+	Transport Exchanger
+	Tap       *Tap
+	Retry     *Retry
+	Health    *Health
+	Dedup     *Dedup
+	Cache     *Cache
+}
+
+// Build assembles the middleware stack in the package's canonical order,
+//
+//	Cache → Dedup → Health → Retry → opts.Middleware... → Tap → Transport,
+//
+// including only the layers Options selects.
+func Build(opts Options) (*Stack, error) {
+	if opts.Transport == nil {
+		return nil, errors.New("exchange: Build requires a Transport")
+	}
+	s := &Stack{Transport: opts.Transport}
+	s.Tap = NewTap(opts.Transport)
+	var ex Exchanger = s.Tap
+	for i := len(opts.Middleware) - 1; i >= 0; i-- {
+		ex = opts.Middleware[i](ex)
+	}
+	if opts.Retry != nil {
+		var ro []RetryOption
+		if opts.RetryLame {
+			ro = append(ro, RetryLame())
+		}
+		if opts.RetryTruncated {
+			ro = append(ro, RetryTruncated())
+		}
+		s.Retry = NewRetry(ex, *opts.Retry, ro...)
+		ex = s.Retry
+	}
+	if opts.Health != nil {
+		s.Health = NewHealth(ex, *opts.Health)
+		ex = s.Health
+	}
+	if opts.Dedup {
+		s.Dedup = NewDedup(ex)
+		ex = s.Dedup
+	}
+	if opts.Cache != nil {
+		s.Cache = NewCache(ex, *opts.Cache)
+		ex = s.Cache
+	}
+	s.Exchanger = ex
+	return s, nil
+}
+
+// MustBuild is Build for static configurations known to be valid; it
+// panics on error.
+func MustBuild(opts Options) *Stack {
+	s, err := Build(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Counters snapshots every present layer's accounting (absent layers
+// report zeros).
+func (s *Stack) Counters() Counters {
+	var c Counters
+	if s.Tap != nil {
+		c.Transport = TransportCounters{Exchanges: s.Tap.Exchanges(), Errors: s.Tap.Errors()}
+	}
+	if s.Cache != nil {
+		c.Cache = CacheCounters{Hits: s.Cache.Hits(), Misses: s.Cache.Misses(), Stores: s.Cache.Stores(), Expired: s.Cache.Expired()}
+	}
+	if s.Dedup != nil {
+		c.Dedup = DedupCounters{Hits: s.Dedup.Hits(), Misses: s.Dedup.Misses()}
+	}
+	if s.Health != nil {
+		c.Health = HealthCounters{Trips: s.Health.Trips(), Recoveries: s.Health.Recoveries(), FastFails: s.Health.FastFails(), Probes: s.Health.Probes()}
+	}
+	if s.Retry != nil {
+		c.Retry = RetryCounters{Retries: s.Retry.Retries(), Failures: s.Retry.Failures()}
+	}
+	return c
+}
+
+// OrderServers returns servers in failover-preference order: Health's
+// healthy-first rotation when the layer is present, the input unchanged
+// otherwise.
+func (s *Stack) OrderServers(servers []string) []string {
+	if s.Health == nil {
+		return servers
+	}
+	return s.Health.Order(servers)
+}
+
+// FlushCache drops every cached response (no-op without a Cache layer).
+// Simulations call it when zones mutate between measurement days.
+func (s *Stack) FlushCache() {
+	if s.Cache != nil {
+		s.Cache.Flush()
+	}
+}

@@ -1,0 +1,504 @@
+package exchange_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
+	"securepki.org/registrarsec/internal/retry"
+)
+
+// countingExchanger answers every query authoritatively with a fixed-TTL
+// A-like NS record and counts calls; an optional hook overrides responses.
+type countingExchanger struct {
+	calls atomic.Int64
+	hook  func(server string, q *dnswire.Message) (*dnswire.Message, error)
+
+	mu      sync.Mutex
+	byQuery map[string]int
+}
+
+func (e *countingExchanger) Exchange(_ context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	e.calls.Add(1)
+	e.mu.Lock()
+	if e.byQuery == nil {
+		e.byQuery = make(map[string]int)
+	}
+	if len(q.Questions) == 1 {
+		e.byQuery[fmt.Sprintf("%s|%s|%d", server, q.Questions[0].Name, q.Questions[0].Type)]++
+	}
+	e.mu.Unlock()
+	if e.hook != nil {
+		return e.hook(server, q)
+	}
+	resp := q.Reply()
+	resp.Authoritative = true
+	resp.Answers = append(resp.Answers, dnswire.NewRR(q.Questions[0].Name, 300, &dnswire.NS{Host: "ns1.example."}))
+	return resp, nil
+}
+
+func fastPolicy(attempts int) retry.Policy {
+	return retry.Policy{MaxAttempts: attempts, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+}
+
+func TestCacheServesRepeatsAndHonorsTTL(t *testing.T) {
+	inner := &countingExchanger{}
+	now := time.Unix(1_000_000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c := exchange.NewCache(inner, exchange.CacheOptions{Now: clock})
+
+	q1 := dnswire.NewQuery(1, "example.com", dnswire.TypeNS)
+	r1, err := c.Exchange(context.Background(), "srv", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := dnswire.NewQuery(99, "example.com", dnswire.TypeNS)
+	r2, err := c.Exchange(context.Background(), "srv", q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != 1 {
+		t.Fatalf("inner calls = %d, want 1 (second query must hit cache)", inner.calls.Load())
+	}
+	if r2.ID != 99 || r1.ID != 1 {
+		t.Fatalf("response IDs not re-addressed: %d, %d", r1.ID, r2.ID)
+	}
+	if len(r2.Answers) != 1 {
+		t.Fatalf("cached answer lost records: %v", r2.Answers)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+
+	// Advance past the 300s record TTL: the entry must expire.
+	mu.Lock()
+	now = now.Add(301 * time.Second)
+	mu.Unlock()
+	if _, err := c.Exchange(context.Background(), "srv", dnswire.NewQuery(7, "example.com", dnswire.TypeNS)); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != 2 {
+		t.Fatalf("inner calls after TTL expiry = %d, want 2", inner.calls.Load())
+	}
+	if c.Expired() != 1 {
+		t.Errorf("expired = %d, want 1", c.Expired())
+	}
+}
+
+func TestCacheKeySeparatesServerTypeAndDOBit(t *testing.T) {
+	inner := &countingExchanger{}
+	c := exchange.NewCache(inner, exchange.CacheOptions{})
+	ctx := context.Background()
+
+	plain := dnswire.NewQuery(1, "example.com", dnswire.TypeNS)
+	do := dnswire.NewQuery(2, "example.com", dnswire.TypeNS)
+	do.SetEDNS(4096, true)
+	if _, err := c.Exchange(ctx, "srv", plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exchange(ctx, "srv", do); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exchange(ctx, "other", dnswire.NewQuery(3, "example.com", dnswire.TypeNS)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exchange(ctx, "srv", dnswire.NewQuery(4, "example.com", dnswire.TypeDS)); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != 4 {
+		t.Fatalf("inner calls = %d, want 4 distinct keys", inner.calls.Load())
+	}
+}
+
+func TestCacheNegativeCachesNXDOMAINPerSOA(t *testing.T) {
+	inner := &countingExchanger{hook: func(_ string, q *dnswire.Message) (*dnswire.Message, error) {
+		resp := q.Reply()
+		resp.RCode = dnswire.RCodeNameError
+		resp.Authority = append(resp.Authority, dnswire.NewRR("com.", 900, &dnswire.SOA{
+			MName: "a.gtld-servers.net.", RName: "nstld.verisign-grs.com.", Minimum: 120,
+		}))
+		return resp, nil
+	}}
+	now := time.Unix(1_000_000, 0)
+	var mu sync.Mutex
+	c := exchange.NewCache(inner, exchange.CacheOptions{Now: func() time.Time { mu.Lock(); defer mu.Unlock(); return now }})
+	ctx := context.Background()
+
+	if _, err := c.Exchange(ctx, "srv", dnswire.NewQuery(1, "nope.com", dnswire.TypeNS)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Exchange(ctx, "srv", dnswire.NewQuery(2, "nope.com", dnswire.TypeNS))
+	if err != nil || r.RCode != dnswire.RCodeNameError {
+		t.Fatalf("negative answer: %v %v", r, err)
+	}
+	if inner.calls.Load() != 1 {
+		t.Fatalf("NXDOMAIN not negatively cached: %d inner calls", inner.calls.Load())
+	}
+
+	// RFC 2308: lifetime is min(SOA TTL, SOA.Minimum) = 120s, not 900s.
+	mu.Lock()
+	now = now.Add(121 * time.Second)
+	mu.Unlock()
+	if _, err := c.Exchange(ctx, "srv", dnswire.NewQuery(3, "nope.com", dnswire.TypeNS)); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != 2 {
+		t.Fatalf("negative entry outlived min(SOA TTL, minimum): %d calls", inner.calls.Load())
+	}
+}
+
+func TestCacheNeverStoresTransientFailures(t *testing.T) {
+	mode := "servfail"
+	inner := &countingExchanger{hook: func(_ string, q *dnswire.Message) (*dnswire.Message, error) {
+		resp := q.Reply()
+		switch mode {
+		case "servfail":
+			resp.RCode = dnswire.RCodeServerFailure
+		case "truncated":
+			resp.Truncated = true
+			resp.Answers = append(resp.Answers, dnswire.NewRR(q.Questions[0].Name, 300, &dnswire.NS{Host: "ns1.example."}))
+		case "error":
+			return nil, errors.New("transport down")
+		}
+		return resp, nil
+	}}
+	c := exchange.NewCache(inner, exchange.CacheOptions{})
+	ctx := context.Background()
+	for i, m := range []string{"servfail", "truncated", "error"} {
+		mode = m
+		name := fmt.Sprintf("d%d.com", i)
+		c.Exchange(ctx, "srv", dnswire.NewQuery(1, name, dnswire.TypeNS))
+		c.Exchange(ctx, "srv", dnswire.NewQuery(2, name, dnswire.TypeNS))
+	}
+	if got := inner.calls.Load(); got != 6 {
+		t.Fatalf("inner calls = %d, want 6: a transient failure was served from cache", got)
+	}
+	if c.Stores() != 0 {
+		t.Errorf("stores = %d, want 0", c.Stores())
+	}
+}
+
+func TestDedupCoalescesConcurrentIdenticalQueries(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	inner := &countingExchanger{hook: func(_ string, q *dnswire.Message) (*dnswire.Message, error) {
+		started <- struct{}{}
+		<-release
+		resp := q.Reply()
+		resp.Authoritative = true
+		return resp, nil
+	}}
+	d := exchange.NewDedup(inner)
+
+	const followers = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, followers+1)
+	ids := make(chan uint16, followers+1)
+	for i := 0; i < followers+1; i++ {
+		wg.Add(1)
+		go func(id uint16) {
+			defer wg.Done()
+			r, err := d.Exchange(context.Background(), "srv", dnswire.NewQuery(id, "example.com", dnswire.TypeDNSKEY))
+			if err != nil {
+				errs <- err
+				return
+			}
+			ids <- r.ID
+		}(uint16(i + 1))
+	}
+	<-started // leader is inside the transport
+	// Give followers a moment to pile onto the flight, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(errs)
+	close(ids)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	seen := make(map[uint16]bool)
+	for id := range ids {
+		seen[id] = true
+	}
+	if len(seen) != followers+1 {
+		t.Fatalf("each caller must get its own message ID back: %d distinct", len(seen))
+	}
+	if inner.calls.Load() >= followers+1 {
+		t.Fatalf("no coalescing happened: %d transport calls", inner.calls.Load())
+	}
+	if d.Hits() == 0 {
+		t.Error("dedup hits = 0")
+	}
+	if d.Hits()+d.Misses() != followers+1 {
+		t.Errorf("hits+misses = %d, want %d", d.Hits()+d.Misses(), followers+1)
+	}
+}
+
+func TestDedupFollowerHonorsOwnContext(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	inner := &countingExchanger{hook: func(_ string, q *dnswire.Message) (*dnswire.Message, error) {
+		started <- struct{}{}
+		<-release
+		return q.Reply(), nil
+	}}
+	d := exchange.NewDedup(inner)
+	go d.Exchange(context.Background(), "srv", dnswire.NewQuery(1, "example.com", dnswire.TypeNS))
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Exchange(ctx, "srv", dnswire.NewQuery(2, "example.com", dnswire.TypeNS))
+		done <- err
+	}()
+	// Let the follower reach the flight, then cancel only its context.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled follower did not return")
+	}
+	close(release)
+}
+
+func TestHealthBreakerTripsFastFailsAndRecovers(t *testing.T) {
+	failing := atomic.Bool{}
+	failing.Store(true)
+	inner := &countingExchanger{hook: func(server string, q *dnswire.Message) (*dnswire.Message, error) {
+		if server == "bad" && failing.Load() {
+			return nil, errors.New("connection refused")
+		}
+		resp := q.Reply()
+		resp.Authoritative = true
+		return resp, nil
+	}}
+	h := exchange.NewHealth(inner, exchange.HealthOptions{Threshold: 3, ProbeProb: 0.5, Seed: 7})
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := h.Exchange(ctx, "bad", dnswire.NewQuery(uint16(i), "example.com", dnswire.TypeNS)); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if h.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", h.Trips())
+	}
+
+	// With the circuit open, calls either fast-fail with a BreakerError
+	// (classifiable both as ErrCircuitOpen and as the underlying cause) or
+	// go through as probes that keep failing.
+	sawFastFail := false
+	for i := 0; i < 20; i++ {
+		_, err := h.Exchange(ctx, "bad", dnswire.NewQuery(uint16(100+i), "example.com", dnswire.TypeNS))
+		if err == nil {
+			t.Fatal("open breaker returned success while server is down")
+		}
+		if errors.Is(err, exchange.ErrCircuitOpen) {
+			sawFastFail = true
+			if !errors.Is(err, exchange.ErrCircuitOpen) || err.Error() == "" {
+				t.Fatal("malformed breaker error")
+			}
+		}
+	}
+	if !sawFastFail || h.FastFails() == 0 {
+		t.Fatal("open breaker never fast-failed")
+	}
+	if h.Probes() == 0 {
+		t.Fatal("open breaker never probed (ProbeProb=0.5, 20 draws)")
+	}
+
+	// Server recovers: the next successful probe closes the circuit.
+	failing.Store(false)
+	recovered := false
+	for i := 0; i < 50; i++ {
+		if _, err := h.Exchange(ctx, "bad", dnswire.NewQuery(uint16(200+i), "example.com", dnswire.TypeNS)); err == nil {
+			recovered = true
+			break
+		}
+	}
+	if !recovered || h.Recoveries() != 1 {
+		t.Fatalf("breaker did not recover: recoveries=%d", h.Recoveries())
+	}
+	// And the healthy server never fast-fails again.
+	if _, err := h.Exchange(ctx, "bad", dnswire.NewQuery(999, "example.com", dnswire.TypeNS)); err != nil {
+		t.Fatalf("closed breaker failed: %v", err)
+	}
+}
+
+func TestHealthOrderPrefersClosedCircuits(t *testing.T) {
+	inner := &countingExchanger{hook: func(server string, q *dnswire.Message) (*dnswire.Message, error) {
+		if server == "dead" {
+			return nil, errors.New("timeout")
+		}
+		return q.Reply(), nil
+	}}
+	h := exchange.NewHealth(inner, exchange.HealthOptions{Threshold: 2})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		h.Exchange(ctx, "dead", dnswire.NewQuery(uint16(i), "x.com", dnswire.TypeNS))
+	}
+	h.Exchange(ctx, "alive-a", dnswire.NewQuery(10, "x.com", dnswire.TypeNS))
+	h.Exchange(ctx, "alive-b", dnswire.NewQuery(11, "x.com", dnswire.TypeNS))
+
+	for i := 0; i < 4; i++ {
+		order := h.Order([]string{"dead", "alive-a", "alive-b"})
+		if len(order) != 3 {
+			t.Fatalf("order lost servers: %v", order)
+		}
+		if order[2] != "dead" {
+			t.Fatalf("open-circuit server not last: %v", order)
+		}
+	}
+
+	snap := h.Snapshot()
+	if !snap["dead"].Dead() {
+		t.Errorf("snapshot for dead server: %+v", snap["dead"])
+	}
+	if snap["alive-a"].Dead() || snap["alive-a"].Successes != 1 {
+		t.Errorf("snapshot for alive server: %+v", snap["alive-a"])
+	}
+}
+
+func TestHealthDisableFastFailStillTracks(t *testing.T) {
+	inner := &countingExchanger{hook: func(server string, q *dnswire.Message) (*dnswire.Message, error) {
+		return nil, errors.New("down")
+	}}
+	h := exchange.NewHealth(inner, exchange.HealthOptions{Threshold: 2, DisableFastFail: true})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		h.Exchange(ctx, "srv", dnswire.NewQuery(uint16(i), "x.com", dnswire.TypeNS))
+	}
+	if inner.calls.Load() != 10 {
+		t.Fatalf("DisableFastFail short-circuited: %d transport calls", inner.calls.Load())
+	}
+	if h.Trips() != 1 || h.FastFails() != 0 {
+		t.Errorf("trips=%d fastFails=%d", h.Trips(), h.FastFails())
+	}
+	if !h.Snapshot()["srv"].Dead() {
+		t.Error("bookkeeping lost in DisableFastFail mode")
+	}
+}
+
+func TestBuildComposesSelectedLayersAndCounts(t *testing.T) {
+	inner := &countingExchanger{}
+	st, err := exchange.Build(exchange.Options{
+		Transport: inner,
+		Retry:     &retry.Policy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+		Health:    &exchange.HealthOptions{},
+		Dedup:     true,
+		Cache:     &exchange.CacheOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tap == nil || st.Retry == nil || st.Health == nil || st.Dedup == nil || st.Cache == nil {
+		t.Fatal("missing layer handles")
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := st.Exchange(ctx, "srv", dnswire.NewQuery(uint16(i), "example.com", dnswire.TypeNS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := st.Counters()
+	if c.Transport.Exchanges != 1 {
+		t.Fatalf("transport exchanges = %d, want 1 (4 repeats must hit cache)", c.Transport.Exchanges)
+	}
+	if c.Cache.Hits != 4 || c.Cache.Misses != 1 {
+		t.Errorf("cache hits=%d misses=%d", c.Cache.Hits, c.Cache.Misses)
+	}
+	d := st.Counters().Sub(c)
+	if d.Transport.Exchanges != 0 || d.Cache.Hits != 0 {
+		t.Errorf("Sub of identical snapshots non-zero: %+v", d)
+	}
+
+	st.FlushCache()
+	if _, err := st.Exchange(ctx, "srv", dnswire.NewQuery(9, "example.com", dnswire.TypeNS)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Counters().Transport.Exchanges != 2 {
+		t.Error("FlushCache did not drop entries")
+	}
+
+	if _, err := exchange.Build(exchange.Options{}); err == nil {
+		t.Fatal("Build without transport must fail")
+	}
+}
+
+func TestBuildMiddlewareSitsBetweenRetryAndTap(t *testing.T) {
+	inner := &countingExchanger{}
+	var order []string
+	var mu sync.Mutex
+	mw := func(name string) exchange.Middleware {
+		return func(next exchange.Exchanger) exchange.Exchanger {
+			return exchange.Func(func(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+				return next.Exchange(ctx, server, q)
+			})
+		}
+	}
+	st, err := exchange.Build(exchange.Options{
+		Transport:  inner,
+		Middleware: []exchange.Middleware{mw("outer"), mw("inner")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exchange(context.Background(), "srv", dnswire.NewQuery(1, "example.com", dnswire.TypeNS)); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("middleware order: %v", order)
+	}
+	if st.Counters().Transport.Exchanges != 1 {
+		t.Error("tap below middleware did not count")
+	}
+}
+
+func TestRetryMiddlewareRefusesCircuitOpen(t *testing.T) {
+	inner := exchange.Func(func(_ context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+		return nil, &exchange.BreakerError{Server: server, Last: errors.New("timeout")}
+	})
+	r := exchange.NewRetry(inner, fastPolicy(5))
+	_, err := r.Exchange(context.Background(), "srv", dnswire.NewQuery(1, "x.com", dnswire.TypeNS))
+	if !errors.Is(err, exchange.ErrCircuitOpen) {
+		t.Fatalf("err: %v", err)
+	}
+	if r.Retries() != 0 {
+		t.Fatalf("retried a fast-fail %d times", r.Retries())
+	}
+}
+
+func TestBreakerErrorClassification(t *testing.T) {
+	be := &exchange.BreakerError{Server: "srv", Last: deadlineish{}}
+	if !be.Timeout() {
+		t.Error("BreakerError must mirror the wrapped error's Timeout()")
+	}
+	if !errors.Is(be, exchange.ErrCircuitOpen) {
+		t.Error("BreakerError must match ErrCircuitOpen")
+	}
+	var d deadlineish
+	if !errors.As(be, &d) {
+		t.Error("BreakerError must unwrap to the underlying cause")
+	}
+}
+
+// deadlineish is a minimal net.Error-ish timeout error.
+type deadlineish struct{}
+
+func (deadlineish) Error() string { return "i/o timeout" }
+func (deadlineish) Timeout() bool { return true }

@@ -1,0 +1,112 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/retry"
+)
+
+// Retry wraps an Exchanger with the retry.Policy discipline: transport
+// errors (and optionally lame rcodes and truncation) are retried against
+// the same server up to the attempt budget, with exponential backoff and
+// deterministic jitter between attempts. It is the resilience seam of the
+// measurement path — a flaky server costs retries, not records.
+//
+// Counters are cumulative and safe for concurrent use; the scan engine
+// samples them around each sweep to fill its SweepHealth report.
+type Retry struct {
+	inner Exchanger
+	doer  *retry.Doer
+
+	// retryLame retries SERVFAIL/REFUSED responses, treating them as
+	// transient lameness. When the budget runs out the last lame response
+	// is returned (not an error) so callers keep their rcode semantics.
+	retryLame bool
+	// retryTruncated retries truncated responses. The in-memory transport
+	// has no TCP fallback, so re-asking is how a TC'd exchange recovers;
+	// NetExchanger does its own TCP fallback and should leave this off.
+	retryTruncated bool
+
+	retries  atomic.Int64
+	failures atomic.Int64
+}
+
+// RetryOption tunes a Retry middleware.
+type RetryOption func(*Retry)
+
+// RetryLame makes SERVFAIL/REFUSED responses count as retryable.
+func RetryLame() RetryOption { return func(e *Retry) { e.retryLame = true } }
+
+// RetryTruncated makes TC=1 responses count as retryable (for transports
+// without a TCP fallback of their own).
+func RetryTruncated() RetryOption { return func(e *Retry) { e.retryTruncated = true } }
+
+// NewRetry wraps inner with the policy (zero fields get retry defaults).
+func NewRetry(inner Exchanger, p retry.Policy, opts ...RetryOption) *Retry {
+	e := &Retry{inner: inner, doer: retry.NewDoer(p)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Retries reports the cumulative retry attempts (attempts beyond each
+// query's first).
+func (e *Retry) Retries() int64 { return e.retries.Load() }
+
+// Failures reports the cumulative exchanges that failed after exhausting
+// their attempt budget.
+func (e *Retry) Failures() int64 { return e.failures.Load() }
+
+// errSoftResponse wraps a response whose rcode/TC makes it retryable; if
+// the budget runs out the response itself is still returned to the caller.
+type errSoftResponse struct{ resp *dnswire.Message }
+
+func (errSoftResponse) Error() string { return "exchange: retryable response" }
+
+// retryable rejects permanent conditions: a dead context and an address
+// with no route (an unregistered in-memory server stays unregistered; real
+// scheduled outages surface as timeouts, which are retryable). A fast-fail
+// from an open circuit breaker is likewise not worth re-attempting — the
+// breaker already decided the server is down.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrNoRoute) || errors.Is(err, ErrCircuitOpen) {
+		return false
+	}
+	return true
+}
+
+// Exchange implements Exchanger with retries.
+func (e *Retry) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
+	var resp *dnswire.Message
+	err := e.doer.Do(ctx, retryable, func(attempt int) error {
+		if attempt > 0 {
+			e.retries.Add(1)
+		}
+		m, err := e.inner.Exchange(ctx, server, q)
+		if err != nil {
+			return err
+		}
+		if (e.retryLame && (m.RCode == dnswire.RCodeServerFailure || m.RCode == dnswire.RCodeRefused)) ||
+			(e.retryTruncated && m.Truncated) {
+			return errSoftResponse{resp: m}
+		}
+		resp = m
+		return nil
+	})
+	if err != nil {
+		var soft errSoftResponse
+		if errors.As(err, &soft) {
+			// Budget exhausted on a lame/truncated answer: hand the caller
+			// the response it would have seen without the retry layer.
+			return soft.resp, nil
+		}
+		e.failures.Add(1)
+		return nil, err
+	}
+	return resp, nil
+}

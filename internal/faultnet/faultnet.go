@@ -1,4 +1,4 @@
-// Package faultnet is a fault-injecting dnsserver.Exchanger middleware. It
+// Package faultnet is a fault-injecting exchange.Exchanger middleware. It
 // wraps any transport (the in-memory MemNet or the real NetExchanger) and
 // injects deterministic, seeded faults per server address pattern: packet
 // loss, added latency, timeouts, SERVFAIL/REFUSED substitution, truncation,
@@ -27,8 +27,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/simtime"
 )
 
@@ -118,7 +118,7 @@ func (r *Rule) hasOutage() bool { return r.OutageFrom != 0 || r.OutageTo != 0 }
 
 // Injector is the fault-injecting Exchanger middleware.
 type Injector struct {
-	inner dnsserver.Exchanger
+	inner exchange.Exchanger
 	rules []Rule
 	seed  int64
 	// clock supplies the simulated day for outage windows; nil disables
@@ -139,10 +139,24 @@ var classIndex = map[Class]int{
 
 // New wraps inner with the rules. The seed fixes the fault schedule; clock
 // may be nil when no rule declares outages.
-func New(inner dnsserver.Exchanger, seed int64, clock func() simtime.Day, rules ...Rule) *Injector {
+func New(inner exchange.Exchanger, seed int64, clock func() simtime.Day, rules ...Rule) *Injector {
 	return &Injector{
 		inner: inner, rules: rules, seed: seed, clock: clock,
 		attempts: make(map[string]uint64),
+	}
+}
+
+// Middleware adapts the injector for an exchange.Build stack: it binds the
+// injector's inner exchanger to whatever layer sits below it and returns
+// the injector as the wrapped layer. Construct with New(nil, ...) when the
+// transport is supplied by the stack, keep the *Injector for Stats, and
+// place the middleware in exchange.Options.Middleware — below the retry
+// budget (so injected faults consume attempts like real ones) and above
+// the transport Tap. A Middleware is single-use: it rebinds this injector.
+func (in *Injector) Middleware() exchange.Middleware {
+	return func(next exchange.Exchanger) exchange.Exchanger {
+		in.inner = next
+		return in
 	}
 }
 
@@ -198,7 +212,7 @@ func (in *Injector) draw(key string, attempt uint64) float64 {
 	return float64(x>>11) / float64(1<<53)
 }
 
-// Exchange implements dnsserver.Exchanger, injecting faults for matched
+// Exchange implements exchange.Exchanger, injecting faults for matched
 // servers and passing everything else straight through.
 func (in *Injector) Exchange(ctx context.Context, server string, q *dnswire.Message) (*dnswire.Message, error) {
 	var rule *Rule

@@ -8,6 +8,7 @@ import (
 
 	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/retry"
 	"securepki.org/registrarsec/internal/simtime"
 )
@@ -200,5 +201,38 @@ func TestRetryRecoversThroughInjector(t *testing.T) {
 	if got := rex.Retries() + rex.Failures(); got != in.Total() {
 		t.Errorf("fault accounting: retries(%d) + failures(%d) != injected(%d)",
 			rex.Retries(), rex.Failures(), in.Total())
+	}
+}
+
+func TestInjectorComposesAsExchangeMiddleware(t *testing.T) {
+	inner := &okExchanger{}
+	inj := New(nil, 42, nil, Rule{Pattern: "ns1.flaky.example", Loss: 1})
+	st, err := exchange.Build(exchange.Options{
+		Transport:  inner,
+		Middleware: []exchange.Middleware{inj.Middleware()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exchange(context.Background(), "ns1.flaky.example", query(1, "a.com")); err == nil {
+		t.Fatal("loss=1 rule did not fault through the stack")
+	}
+	if inj.Stats()[ClassLoss] != 1 {
+		t.Errorf("fault counters through middleware: %v", inj.Stats())
+	}
+	// A lost packet never reaches the layers below the injector: neither
+	// the Tap nor the transport may see it.
+	if st.Counters().Transport.Exchanges != 0 {
+		t.Errorf("lost query reached the tap: %+v", st.Counters().Transport)
+	}
+	if inner.calls != 0 {
+		t.Errorf("lost query reached the transport: %d calls", inner.calls)
+	}
+	resp, err := st.Exchange(context.Background(), "ns1.solid.example", query(2, "a.com"))
+	if err != nil || len(resp.Answers) != 1 {
+		t.Fatalf("unmatched server through stack: %v %v", resp, err)
+	}
+	if st.Counters().Transport.Exchanges != 1 {
+		t.Errorf("tap exchanges = %d, want 1", st.Counters().Transport.Exchanges)
 	}
 }

@@ -13,6 +13,7 @@
 package operator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -217,18 +218,19 @@ func (o *Operator) DSRecord(domain string) (*dnswire.DS, error) {
 type RegistrarBootstrapAPI interface {
 	// BootstrapDS installs a DS for domain on behalf of its DNS operator.
 	// The registrar is expected to verify that the operator actually
-	// serves the domain before accepting.
-	BootstrapDS(domain string, ds *dnswire.DS) error
+	// serves the domain before accepting; ctx bounds that verification's
+	// DNS lookups.
+	BootstrapDS(ctx context.Context, domain string, ds *dnswire.DS) error
 }
 
 // BootstrapViaRegistrar pushes the domain's DS straight to the registrar
 // using the draft protocol.
-func (o *Operator) BootstrapViaRegistrar(domain string, api RegistrarBootstrapAPI) error {
+func (o *Operator) BootstrapViaRegistrar(ctx context.Context, domain string, api RegistrarBootstrapAPI) error {
 	ds, err := o.DSRecord(domain)
 	if err != nil {
 		return err
 	}
-	return api.BootstrapDS(domain, ds)
+	return api.BootstrapDS(ctx, domain, ds)
 }
 
 // SignatureValidUntil reports how long the operator's signatures remain

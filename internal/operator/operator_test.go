@@ -99,7 +99,7 @@ func TestOperatorDSRelayFlow(t *testing.T) {
 		t.Fatalf("before relay: %v", got)
 	}
 	// The customer completes the relay through the registrar web form.
-	if err := f.reg.SubmitDSWeb("cust@x.net", "site.com", ds); err != nil {
+	if err := f.reg.SubmitDSWeb(context.Background(), "cust@x.net", "site.com", ds); err != nil {
 		t.Fatal(err)
 	}
 	if got := classify(t, f, "site.com"); got != dnssec.DeploymentFull {
@@ -154,7 +154,7 @@ func TestOperatorDisableOrderMatters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.reg.SubmitDSWeb("cust@x.net", "site.com", ds); err != nil {
+	if err := f.reg.SubmitDSWeb(context.Background(), "cust@x.net", "site.com", ds); err != nil {
 		t.Fatal(err)
 	}
 	// Disabling at the operator while the DS is still in the registry
@@ -205,7 +205,7 @@ func TestOperatorBootstrapViaRegistrarDraft(t *testing.T) {
 	}
 	// The draft protocol: the operator pushes the DS to the registrar
 	// directly, no customer involved.
-	if err := f.op.BootstrapViaRegistrar("site.com", f.reg); err != nil {
+	if err := f.op.BootstrapViaRegistrar(context.Background(), "site.com", f.reg); err != nil {
 		t.Fatal(err)
 	}
 	if got := classify(t, f, "site.com"); got != dnssec.DeploymentFull {

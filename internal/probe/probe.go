@@ -141,13 +141,13 @@ func (p *Prober) validating() *resolver.Validating {
 
 // classify observes a domain's deployment state through registry data and
 // live validated DNS — never through agent internals.
-func (p *Prober) classify(domain, tld string) (dnssec.Deployment, error) {
+func (p *Prober) classify(ctx context.Context, domain, tld string) (dnssec.Deployment, error) {
 	reg, ok := p.Env.Registries[tld].Registration(domain)
 	if !ok {
 		return dnssec.DeploymentNone, fmt.Errorf("probe: %s not registered", domain)
 	}
 	v := p.validating()
-	res, chain, err := v.Lookup(context.Background(), domain, dnswire.TypeDNSKEY)
+	res, chain, err := v.Lookup(ctx, domain, dnswire.TypeDNSKEY)
 	if err != nil {
 		return dnssec.DeploymentNone, err
 	}
@@ -200,7 +200,10 @@ func (p *Prober) ownNameserver(domain string) (string, *zone.Signer, *dnswire.DS
 }
 
 // Run executes the full eight-step methodology against one registrar.
-func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
+// ctx bounds every DNS lookup and channel interaction the probe performs —
+// both the prober's own classification queries and the registrar-side
+// fetch/validation lookups triggered through the channels.
+func (p *Prober) Run(ctx context.Context, r *registrar.Registrar) (*Observation, error) {
 	obs := &Observation{Registrar: r.Name}
 	tld, err := p.pickTLD(r)
 	if err != nil {
@@ -217,7 +220,7 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 	}
 
 	// Step 2: is DNSSEC on by default? Otherwise, can we turn it on?
-	dep, err := p.classify(domain, tld)
+	dep, err := p.classify(ctx, domain, tld)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +247,7 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 				if err := r.Purchase(account, alt, plan); err != nil {
 					continue
 				}
-				if altDep, err := p.classify(alt, tld); err == nil &&
+				if altDep, err := p.classify(ctx, alt, tld); err == nil &&
 					(altDep == dnssec.DeploymentFull || altDep == dnssec.DeploymentPartial) {
 					obs.HostedSigned = true
 					obs.HostedPlanGated = true
@@ -258,7 +261,7 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 
 	// Step 3: verify what was actually deployed.
 	if obs.HostedSigned {
-		dep, err := p.classify(domain, tld)
+		dep, err := p.classify(ctx, domain, tld)
 		if err != nil {
 			return nil, err
 		}
@@ -295,20 +298,20 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 	attempts := []attempt{
 		{
 			kind:  channel.Web,
-			good:  func() error { return r.SubmitDSWeb(account, domain, goodDS) },
-			bogus: func() error { return r.SubmitDSWeb(account, domain, bogus) },
+			good:  func() error { return r.SubmitDSWeb(ctx, account, domain, goodDS) },
+			bogus: func() error { return r.SubmitDSWeb(ctx, account, domain, bogus) },
 		},
 		{
 			kind: channel.Email,
 			good: func() error {
-				return r.HandleSupportEmail(channel.EmailMessage{
+				return r.HandleSupportEmail(ctx, channel.EmailMessage{
 					From: account, Subject: domain,
 					Body:     channel.FormatDS(domain, goodDS),
 					AuthCode: acct.SecurityCode,
 				})
 			},
 			bogus: func() error {
-				return r.HandleSupportEmail(channel.EmailMessage{
+				return r.HandleSupportEmail(ctx, channel.EmailMessage{
 					From: account, Subject: domain,
 					Body:     channel.FormatDS(domain, bogus),
 					AuthCode: acct.SecurityCode,
@@ -317,7 +320,7 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 			forged: func() error {
 				// Step 8: same payload, different sender, no code — the
 				// paper's forged-email test.
-				return r.HandleSupportEmail(channel.EmailMessage{
+				return r.HandleSupportEmail(ctx, channel.EmailMessage{
 					From: "someone-else@attacker.example", Subject: domain,
 					Body: channel.FormatDS(domain, goodDS),
 				})
@@ -326,13 +329,13 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 		{
 			kind: channel.Ticket,
 			good: func() error {
-				return r.HandleTicket(channel.TicketMessage{
+				return r.HandleTicket(ctx, channel.TicketMessage{
 					AccountEmail: account, Domain: domain,
 					Body: "please install my DS:\n" + channel.FormatDS(domain, goodDS),
 				})
 			},
 			bogus: func() error {
-				return r.HandleTicket(channel.TicketMessage{
+				return r.HandleTicket(ctx, channel.TicketMessage{
 					AccountEmail: account, Domain: domain,
 					Body: channel.FormatDS(domain, bogus),
 				})
@@ -341,7 +344,7 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 		{
 			kind: channel.Chat,
 			good: func() error {
-				out, err := r.ChatUploadDS(account, domain, goodDS)
+				out, err := r.ChatUploadDS(ctx, account, domain, goodDS)
 				if err == nil && out.Misapplied {
 					obs.ChatMisapplied = true
 					obs.MisappliedVictim = out.AppliedDomain
@@ -351,7 +354,7 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 				return err
 			},
 			bogus: func() error {
-				out, err := r.ChatUploadDS(account, domain, bogus)
+				out, err := r.ChatUploadDS(ctx, account, domain, bogus)
 				if err == nil && out.Misapplied {
 					return fmt.Errorf("probe: bogus DS applied to wrong domain")
 				}
@@ -369,11 +372,11 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 	}
 	// Registrar-side alternatives to uploading a DS.
 	if used == nil {
-		if err := r.SubmitDNSKEYWeb(account, domain, signer.KSK.DNSKEY()); err == nil {
+		if err := r.SubmitDNSKEYWeb(ctx, account, domain, signer.KSK.DNSKEY()); err == nil {
 			obs.AcceptsDNSKEY = true
 			obs.ChannelUsed = channel.Web
 			obs.note("accepts DNSKEY uploads and derives the DS itself")
-		} else if err := r.RequestDSFetch(account, domain); err == nil {
+		} else if err := r.RequestDSFetch(ctx, account, domain); err == nil {
 			obs.FetchesDNSKEY = true
 			obs.ChannelUsed = channel.Web
 			obs.note("fetches our DNSKEY and generates the DS itself")
@@ -384,7 +387,7 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 		obs.note("no way to convey a DS record; owner-operated DNSSEC impossible")
 		return obs, nil
 	}
-	dep, err = p.classify(domain, tld)
+	dep, err = p.classify(ctx, domain, tld)
 	if err != nil {
 		return nil, err
 	}
@@ -420,10 +423,10 @@ func (p *Prober) Run(r *registrar.Registrar) (*Observation, error) {
 
 // RunAll probes each registrar, collecting observations; individual
 // failures are recorded as notes rather than aborting the campaign.
-func (p *Prober) RunAll(regs []*registrar.Registrar) []*Observation {
+func (p *Prober) RunAll(ctx context.Context, regs []*registrar.Registrar) []*Observation {
 	out := make([]*Observation, 0, len(regs))
 	for _, r := range regs {
-		obs, err := p.Run(r)
+		obs, err := p.Run(ctx, r)
 		if err != nil {
 			obs = &Observation{Registrar: r.Name}
 			obs.note("probe failed: %v", err)

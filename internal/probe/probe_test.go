@@ -1,6 +1,7 @@
 package probe_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestProbeDiscoversGoDaddyLikePolicy(t *testing.T) {
 		HostedDNSSEC: registrar.SupportPaid, DNSSECFee: 35,
 		OwnerDNSSEC: false,
 	})
-	obs, err := probe.New(w.env).Run(r)
+	obs, err := probe.New(w.env).Run(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestProbeDiscoversNameCheapLikePlanGating(t *testing.T) {
 		DefaultPlan:  "freedns",
 		OwnerDNSSEC:  true, DSChannel: channel.Web,
 	})
-	obs, err := probe.New(w.env).Run(r)
+	obs, err := probe.New(w.env).Run(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestProbeDiscoversValidationBehaviour(t *testing.T) {
 	})
 	p := probe.New(w.env)
 
-	obsStrict, err := p.Run(strict)
+	obsStrict, err := p.Run(context.Background(), strict)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestProbeDiscoversValidationBehaviour(t *testing.T) {
 		t.Errorf("owner deployment: %v", obsStrict.OwnerDeployment)
 	}
 
-	obsSloppy, err := p.Run(sloppy)
+	obsSloppy, err := p.Run(context.Background(), sloppy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,14 +144,14 @@ func TestProbeDiscoversEmailVulnerability(t *testing.T) {
 		OwnerDNSSEC: true, DSChannel: channel.Email, EmailAuth: registrar.EmailAuthCode,
 	})
 	p := probe.New(w.env)
-	obsLax, err := p.Run(lax)
+	obsLax, err := p.Run(context.Background(), lax)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if obsLax.ChannelUsed != channel.Email || obsLax.RejectsForgedEmail != probe.ObservedNo {
 		t.Errorf("lax email registrar: channel=%v forged=%v", obsLax.ChannelUsed, obsLax.RejectsForgedEmail)
 	}
-	obsStrict, err := p.Run(strict)
+	obsStrict, err := p.Run(context.Background(), strict)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestProbeDiscoversAlternativeFlows(t *testing.T) {
 	})
 	p := probe.New(w.env)
 
-	obs, err := p.Run(fetcher)
+	obs, err := p.Run(context.Background(), fetcher)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestProbeDiscoversAlternativeFlows(t *testing.T) {
 		t.Errorf("fetch flow bogus: %v", obs.RejectsBogusDS)
 	}
 
-	obs, err = p.Run(keyup)
+	obs, err = p.Run(context.Background(), keyup)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestProbeDiscoversAlternativeFlows(t *testing.T) {
 		t.Errorf("dnskey flow: %+v", obs)
 	}
 
-	obs, err = p.Run(ticketer)
+	obs, err = p.Run(context.Background(), ticketer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestProbeRecordsChatMisapply(t *testing.T) {
 	if err := r.Purchase("bystander@x.net", "innocent.com", ""); err != nil {
 		t.Fatal(err)
 	}
-	obs, err := probe.New(w.env).Run(r)
+	obs, err := probe.New(w.env).Run(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestSummarizeAndRender(t *testing.T) {
 			ID: "r3", Name: "Gamma", NSHosts: []string{"ns1.gamma.net"},
 		}),
 	}
-	obs := probe.New(w.env).RunAll(regs)
+	obs := probe.New(w.env).RunAll(context.Background(), regs)
 	if len(obs) != 3 {
 		t.Fatalf("observations: %d", len(obs))
 	}
@@ -289,7 +290,7 @@ func TestProbeResellerChain(t *testing.T) {
 		Roles: map[string]registrar.Role{"com": {Kind: registrar.RoleReseller, Partner: "bigp"}},
 	})
 	reseller.SetPartner("com", partner)
-	obs, err := probe.New(w.env).Run(reseller)
+	obs, err := probe.New(w.env).Run(context.Background(), reseller)
 	if err != nil {
 		t.Fatal(err)
 	}

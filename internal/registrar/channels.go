@@ -1,6 +1,7 @@
 package registrar
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,7 +20,7 @@ import (
 // two of the twelve web forms in the study validated the record; the rest
 // accept arbitrary bytes, which a validating resolver will then treat as a
 // bogus chain — taking the whole domain offline for DNSSEC-aware clients.
-func (r *Registrar) SubmitDSWeb(accountEmail, name string, ds *dnswire.DS) error {
+func (r *Registrar) SubmitDSWeb(ctx context.Context, accountEmail, name string, ds *dnswire.DS) error {
 	if !r.OwnerDNSSEC || r.DSChannel != channel.Web {
 		return fmt.Errorf("%w: no web DS form", ErrNotSupported)
 	}
@@ -32,14 +33,14 @@ func (r *Registrar) SubmitDSWeb(accountEmail, name string, ds *dnswire.DS) error
 	if err != nil {
 		return err
 	}
-	return r.installDS(d, []*dnswire.DS{ds}, r.ValidatesDS)
+	return r.installDS(ctx, d, []*dnswire.DS{ds}, r.ValidatesDS)
 }
 
 // SubmitDNSKEYWeb uploads a DNSKEY from which the registrar derives the DS
 // itself (Amazon's approach). The derivation cannot produce a malformed DS,
 // but nothing checks that the key is actually served — the paper calls this
 // "not perfect".
-func (r *Registrar) SubmitDNSKEYWeb(accountEmail, name string, dk *dnswire.DNSKEY) error {
+func (r *Registrar) SubmitDNSKEYWeb(ctx context.Context, accountEmail, name string, dk *dnswire.DNSKEY) error {
 	if !r.OwnerDNSSEC || !r.AcceptsDNSKEY {
 		return fmt.Errorf("%w: no DNSKEY upload", ErrNotSupported)
 	}
@@ -51,7 +52,7 @@ func (r *Registrar) SubmitDNSKEYWeb(accountEmail, name string, dk *dnswire.DNSKE
 	if err != nil {
 		return fmt.Errorf("registrar: deriving DS: %w", err)
 	}
-	return r.installDS(d, []*dnswire.DS{ds}, false)
+	return r.installDS(ctx, d, []*dnswire.DS{ds}, false)
 }
 
 // RequestDSFetch asks the registrar to fetch the domain's DNSKEY from its
@@ -59,7 +60,7 @@ func (r *Registrar) SubmitDNSKEYWeb(accountEmail, name string, dk *dnswire.DNSKE
 // which the paper singles out as the least error-prone (section 8,
 // recommendation 3). It only bootstraps the first DS; key rollovers go
 // through email, with that channel's weaknesses.
-func (r *Registrar) RequestDSFetch(accountEmail, name string) error {
+func (r *Registrar) RequestDSFetch(ctx context.Context, accountEmail, name string) error {
 	if !r.OwnerDNSSEC || !r.FetchesDNSKEY {
 		return fmt.Errorf("%w: no DS fetch flow", ErrNotSupported)
 	}
@@ -77,7 +78,7 @@ func (r *Registrar) RequestDSFetch(accountEmail, name string) error {
 	if reg, ok := path.reg.Registration(d.Name); ok && len(reg.DS) > 0 {
 		return fmt.Errorf("%w: DS already present; rollovers require email", ErrNotSupported)
 	}
-	keys := r.fetchDNSKEYs(d.Name, d.ExternalNS)
+	keys := r.fetchDNSKEYs(ctx, d.Name, d.ExternalNS)
 	if len(keys) == 0 {
 		return fmt.Errorf("%w: no DNSKEY served", ErrDSRejected)
 	}
@@ -102,14 +103,14 @@ func (r *Registrar) RequestDSFetch(accountEmail, name string) error {
 			dss = append(dss, ds)
 		}
 	}
-	return r.installDS(d, dss, false)
+	return r.installDS(ctx, d, dss, false)
 }
 
 // HandleSupportEmail processes an emailed DS record. The authentication
 // applied is exactly the registrar's EmailAuth policy; two of the studied
 // registrars applied none, and one accepted mail from an address that had
 // never registered the domain.
-func (r *Registrar) HandleSupportEmail(msg channel.EmailMessage) error {
+func (r *Registrar) HandleSupportEmail(ctx context.Context, msg channel.EmailMessage) error {
 	if !r.OwnerDNSSEC || r.DSChannel != channel.Email {
 		return fmt.Errorf("%w: email DS submission not offered", ErrNotSupported)
 	}
@@ -140,13 +141,13 @@ func (r *Registrar) HandleSupportEmail(msg channel.EmailMessage) error {
 	if err != nil {
 		return err
 	}
-	return r.installDS(d, []*dnswire.DS{ds}, r.ValidatesDS)
+	return r.installDS(ctx, d, []*dnswire.DS{ds}, r.ValidatesDS)
 }
 
 // HandleTicket processes a DS record attached to a support ticket
 // (123-reg's flow). Tickets are opened from the authenticated control
 // panel, so ownership is verified; validation still follows policy.
-func (r *Registrar) HandleTicket(t channel.TicketMessage) error {
+func (r *Registrar) HandleTicket(ctx context.Context, t channel.TicketMessage) error {
 	if !r.OwnerDNSSEC || r.DSChannel != channel.Ticket {
 		return fmt.Errorf("%w: ticket DS submission not offered", ErrNotSupported)
 	}
@@ -158,7 +159,7 @@ func (r *Registrar) HandleTicket(t channel.TicketMessage) error {
 	if err != nil {
 		return err
 	}
-	return r.installDS(d, []*dnswire.DS{ds}, r.ValidatesDS)
+	return r.installDS(ctx, d, []*dnswire.DS{ds}, r.ValidatesDS)
 }
 
 // BootstrapDS implements the Cloudflare/CIRA third-party-operator draft
@@ -166,7 +167,7 @@ func (r *Registrar) HandleTicket(t channel.TicketMessage) error {
 // install a DS directly, cutting the customer out of the relay. Unlike the
 // human channels, the draft mandates verification: the DS must match a
 // DNSKEY actually served by the domain's delegated nameservers.
-func (r *Registrar) BootstrapDS(name string, ds *dnswire.DS) error {
+func (r *Registrar) BootstrapDS(ctx context.Context, name string, ds *dnswire.DS) error {
 	name = dnswire.CanonicalName(name)
 	r.mu.RLock()
 	d, ok := r.domains[name]
@@ -174,14 +175,14 @@ func (r *Registrar) BootstrapDS(name string, ds *dnswire.DS) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchDomain, name)
 	}
-	return r.installDS(d, []*dnswire.DS{ds}, true)
+	return r.installDS(ctx, d, []*dnswire.DS{ds}, true)
 }
 
 // ChatUploadDS pastes a DS record into a live-chat session (HostGator's
 // flow). The returned outcome reveals whether the agent installed it on the
 // intended domain — the paper's probe discovered an agent applying a DS to
 // an unrelated customer's domain.
-func (r *Registrar) ChatUploadDS(accountEmail, name string, ds *dnswire.DS) (channel.Outcome, error) {
+func (r *Registrar) ChatUploadDS(ctx context.Context, accountEmail, name string, ds *dnswire.DS) (channel.Outcome, error) {
 	if !r.OwnerDNSSEC || r.DSChannel != channel.Chat {
 		return channel.Outcome{}, fmt.Errorf("%w: chat DS submission not offered", ErrNotSupported)
 	}
@@ -216,5 +217,5 @@ func (r *Registrar) ChatUploadDS(accountEmail, name string, ds *dnswire.DS) (cha
 		}
 		return outcome, path.reg.SetDS(path.actorID, target.Name, []*dnswire.DS{ds})
 	}
-	return outcome, r.installDS(target, []*dnswire.DS{ds}, false)
+	return outcome, r.installDS(ctx, target, []*dnswire.DS{ds}, false)
 }

@@ -743,11 +743,13 @@ func (r *Registrar) TransferIn(accountEmail, name string, from *Registrar) error
 }
 
 // fetchDNSKEYs queries the domain's delegated nameservers for DNSKEYs.
-func (r *Registrar) fetchDNSKEYs(name string, ns []string) []*dnswire.DNSKEY {
+// The caller's context bounds the lookups, so probe timeouts and
+// cancellation propagate into the registrar's own DNS traffic.
+func (r *Registrar) fetchDNSKEYs(ctx context.Context, name string, ns []string) []*dnswire.DNSKEY {
 	q := dnswire.NewQuery(uint16(r.deps.Rng.Intn(1<<16)), name, dnswire.TypeDNSKEY)
 	q.SetEDNS(4096, true)
 	for _, host := range ns {
-		resp, err := r.deps.Net.Exchange(context.Background(), host, q)
+		resp, err := r.deps.Net.Exchange(ctx, host, q)
 		if err != nil || resp.RCode != dnswire.RCodeSuccess {
 			continue
 		}
@@ -764,12 +766,12 @@ func (r *Registrar) fetchDNSKEYs(name string, ns []string) []*dnswire.DNSKEY {
 
 // installDS pushes a DS set to the registry for an externally hosted
 // domain, applying the registrar's validation policy.
-func (r *Registrar) installDS(d *Domain, ds []*dnswire.DS, validate bool) error {
+func (r *Registrar) installDS(ctx context.Context, d *Domain, ds []*dnswire.DS, validate bool) error {
 	if d.Hosted {
 		return ErrHosted
 	}
 	if validate {
-		keys := r.fetchDNSKEYs(d.Name, d.ExternalNS)
+		keys := r.fetchDNSKEYs(ctx, d.Name, d.ExternalNS)
 		if !dnssec.MatchAnyDS(d.Name, ds, keys) {
 			return fmt.Errorf("%w: does not match any served DNSKEY", ErrDSRejected)
 		}

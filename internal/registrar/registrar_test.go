@@ -303,14 +303,14 @@ func TestWebDSUploadValidationPolicies(t *testing.T) {
 		if err := r.UseExternalNameservers("a@x.net", "strict.com", []string{"ns1.owner1.example"}); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.SubmitDSWeb("a@x.net", "strict.com", garbage); !errors.Is(err, registrar.ErrDSRejected) {
+		if err := r.SubmitDSWeb(context.Background(), "a@x.net", "strict.com", garbage); !errors.Is(err, registrar.ErrDSRejected) {
 			t.Errorf("garbage DS: %v", err)
 		}
 		good, err := signer.DSRecords("strict.com", dnswire.DigestSHA256)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := r.SubmitDSWeb("a@x.net", "strict.com", good[0]); err != nil {
+		if err := r.SubmitDSWeb(context.Background(), "a@x.net", "strict.com", good[0]); err != nil {
 			t.Fatal(err)
 		}
 		if got := w.classify("strict.com"); got != dnssec.DeploymentFull {
@@ -327,7 +327,7 @@ func TestWebDSUploadValidationPolicies(t *testing.T) {
 		if err := r.UseExternalNameservers("a@x.net", "sloppy.com", []string{"ns1.owner2.example"}); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.SubmitDSWeb("a@x.net", "sloppy.com", garbage); err != nil {
+		if err := r.SubmitDSWeb(context.Background(), "a@x.net", "sloppy.com", garbage); err != nil {
 			t.Fatalf("sloppy registrar rejected: %v", err)
 		}
 		// The domain is now bogus for validating resolvers.
@@ -344,7 +344,7 @@ func TestWebDSUploadValidationPolicies(t *testing.T) {
 		if err := r.Purchase("a@x.net", "noch.com", ""); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.SubmitDSWeb("a@x.net", "noch.com", garbage); !errors.Is(err, registrar.ErrNotSupported) {
+		if err := r.SubmitDSWeb(context.Background(), "a@x.net", "noch.com", garbage); !errors.Is(err, registrar.ErrNotSupported) {
 			t.Errorf("no-channel submit: %v", err)
 		}
 	})
@@ -382,7 +382,7 @@ func TestEmailDSAuthentication(t *testing.T) {
 		r, ds := setup("laxmail", registrar.EmailAuthNone)
 		// The attack from section 6.4: mail from an address that never
 		// registered the domain is accepted.
-		if err := r.HandleSupportEmail(mail("attacker@evil.net", "laxmail.com", ds, "")); err != nil {
+		if err := r.HandleSupportEmail(context.Background(), mail("attacker@evil.net", "laxmail.com", ds, "")); err != nil {
 			t.Fatalf("forged email rejected by no-auth registrar: %v", err)
 		}
 		if got := w.classify("laxmail.com"); got != dnssec.DeploymentFull {
@@ -392,21 +392,21 @@ func TestEmailDSAuthentication(t *testing.T) {
 
 	t.Run("address check blocks other senders", func(t *testing.T) {
 		r, ds := setup("addrmail", registrar.EmailAuthAddress)
-		if err := r.HandleSupportEmail(mail("attacker@evil.net", "addrmail.com", ds, "")); !errors.Is(err, registrar.ErrEmailRejected) {
+		if err := r.HandleSupportEmail(context.Background(), mail("attacker@evil.net", "addrmail.com", ds, "")); !errors.Is(err, registrar.ErrEmailRejected) {
 			t.Errorf("forged email: %v", err)
 		}
-		if err := r.HandleSupportEmail(mail("owner@legit.net", "addrmail.com", ds, "")); err != nil {
+		if err := r.HandleSupportEmail(context.Background(), mail("owner@legit.net", "addrmail.com", ds, "")); err != nil {
 			t.Fatalf("legit email: %v", err)
 		}
 	})
 
 	t.Run("code check requires the account code", func(t *testing.T) {
 		r, ds := setup("codemail", registrar.EmailAuthCode)
-		if err := r.HandleSupportEmail(mail("owner@legit.net", "codemail.com", ds, "wrong")); !errors.Is(err, registrar.ErrEmailRejected) {
+		if err := r.HandleSupportEmail(context.Background(), mail("owner@legit.net", "codemail.com", ds, "wrong")); !errors.Is(err, registrar.ErrEmailRejected) {
 			t.Errorf("wrong code: %v", err)
 		}
 		acct := r.CreateAccount("owner@legit.net") // returns existing
-		if err := r.HandleSupportEmail(mail("owner@legit.net", "codemail.com", ds, acct.SecurityCode)); err != nil {
+		if err := r.HandleSupportEmail(context.Background(), mail("owner@legit.net", "codemail.com", ds, acct.SecurityCode)); err != nil {
 			t.Fatalf("right code: %v", err)
 		}
 	})
@@ -414,7 +414,7 @@ func TestEmailDSAuthentication(t *testing.T) {
 	t.Run("unparseable body", func(t *testing.T) {
 		r, _ := setup("parsemail", registrar.EmailAuthNone)
 		msg := channel.EmailMessage{From: "x@y.net", Subject: "parsemail.com", Body: "enable dnssec plz"}
-		if err := r.HandleSupportEmail(msg); err == nil {
+		if err := r.HandleSupportEmail(context.Background(), msg); err == nil {
 			t.Error("accepted email without a DS record")
 		}
 	})
@@ -437,7 +437,7 @@ func TestTicketAndChatChannels(t *testing.T) {
 			t.Fatal(err)
 		}
 		ds, _ := signer.DSRecords("ticket.com", dnswire.DigestSHA256)
-		err := r.HandleTicket(channel.TicketMessage{
+		err := r.HandleTicket(context.Background(), channel.TicketMessage{
 			AccountEmail: "a@x.net", Domain: "ticket.com",
 			Body: "attaching my DS record:\n" + channel.FormatDS("ticket.com", ds[0]),
 		})
@@ -449,7 +449,7 @@ func TestTicketAndChatChannels(t *testing.T) {
 		}
 		// Ticket for someone else's domain is refused (authenticated panel).
 		r.CreateAccount("b@x.net")
-		err = r.HandleTicket(channel.TicketMessage{AccountEmail: "b@x.net", Domain: "ticket.com", Body: "ds"})
+		err = r.HandleTicket(context.Background(), channel.TicketMessage{AccountEmail: "b@x.net", Domain: "ticket.com", Body: "ds"})
 		if !errors.Is(err, registrar.ErrNotYourDomain) {
 			t.Errorf("cross-account ticket: %v", err)
 		}
@@ -472,7 +472,7 @@ func TestTicketAndChatChannels(t *testing.T) {
 			t.Fatal(err)
 		}
 		ds, _ := signer.DSRecords("mine.com", dnswire.DigestSHA256)
-		out, err := r.ChatUploadDS("a@x.net", "mine.com", ds[0])
+		out, err := r.ChatUploadDS(context.Background(), "a@x.net", "mine.com", ds[0])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -503,7 +503,7 @@ func TestDNSKEYUploadAndFetch(t *testing.T) {
 		if err := r.UseExternalNameservers("a@x.net", "keyed.com", []string{"ns1.owner-k.example"}); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.SubmitDNSKEYWeb("a@x.net", "keyed.com", signer.KSK.DNSKEY()); err != nil {
+		if err := r.SubmitDNSKEYWeb(context.Background(), "a@x.net", "keyed.com", signer.KSK.DNSKEY()); err != nil {
 			t.Fatal(err)
 		}
 		if got := w.classify("keyed.com"); got != dnssec.DeploymentFull {
@@ -515,7 +515,7 @@ func TestDNSKEYUploadAndFetch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := r.SubmitDNSKEYWeb("a@x.net", "keyed.com", other.DNSKEY()); err != nil {
+		if err := r.SubmitDNSKEYWeb(context.Background(), "a@x.net", "keyed.com", other.DNSKEY()); err != nil {
 			t.Fatal(err)
 		}
 		if got := w.classify("keyed.com"); got != dnssec.DeploymentBroken {
@@ -536,15 +536,40 @@ func TestDNSKEYUploadAndFetch(t *testing.T) {
 		if err := r.UseExternalNameservers("a@x.net", "fetched.com", []string{"ns1.owner-f.example"}); err != nil {
 			t.Fatal(err)
 		}
-		if err := r.RequestDSFetch("a@x.net", "fetched.com"); err != nil {
+		if err := r.RequestDSFetch(context.Background(), "a@x.net", "fetched.com"); err != nil {
 			t.Fatal(err)
 		}
 		if got := w.classify("fetched.com"); got != dnssec.DeploymentFull {
 			t.Errorf("after fetch: %v", got)
 		}
 		// Only bootstraps the first DS; rollover via fetch is refused.
-		if err := r.RequestDSFetch("a@x.net", "fetched.com"); !errors.Is(err, registrar.ErrNotSupported) {
+		if err := r.RequestDSFetch(context.Background(), "a@x.net", "fetched.com"); !errors.Is(err, registrar.ErrNotSupported) {
 			t.Errorf("second fetch: %v", err)
+		}
+	})
+
+	t.Run("cancelled context stops registrar-side lookups", func(t *testing.T) {
+		r := w.newRegistrar(registrar.Policy{
+			ID: "pcx-cancel", Name: "FetcherC", NSHosts: []string{"ns1.fetchc.net"},
+			OwnerDNSSEC: true, DSChannel: channel.Web, FetchesDNSKEY: true, ValidatesDS: true,
+		})
+		r.CreateAccount("a@x.net")
+		if err := r.Purchase("a@x.net", "cancelled.com", ""); err != nil {
+			t.Fatal(err)
+		}
+		w.ownerNS("cancelled.com", "ns1.owner-c.example")
+		if err := r.UseExternalNameservers("a@x.net", "cancelled.com", []string{"ns1.owner-c.example"}); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		// The registrar's DNSKEY fetch runs under the caller's context, so
+		// the dead context must abort the lookup — no DS gets installed.
+		if err := r.RequestDSFetch(ctx, "a@x.net", "cancelled.com"); err == nil {
+			t.Fatal("DS fetch succeeded under a cancelled context")
+		}
+		if got := w.classify("cancelled.com"); got == dnssec.DeploymentFull {
+			t.Error("DS installed despite cancelled context")
 		}
 	})
 }
@@ -629,7 +654,7 @@ func TestBootstrapDSAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds, _ := signer.DSRecords("drafted.com", dnswire.DigestSHA256)
-	if err := r.BootstrapDS("drafted.com", ds[0]); err != nil {
+	if err := r.BootstrapDS(context.Background(), "drafted.com", ds[0]); err != nil {
 		t.Fatal(err)
 	}
 	if got := w.classify("drafted.com"); got != dnssec.DeploymentFull {
@@ -637,7 +662,7 @@ func TestBootstrapDSAPI(t *testing.T) {
 	}
 	// The draft mandates verification: an unserved DS is refused.
 	garbage := &dnswire.DS{KeyTag: 2, Algorithm: dnswire.AlgED25519, DigestType: dnswire.DigestSHA256, Digest: make([]byte, 32)}
-	if err := r.BootstrapDS("drafted.com", garbage); !errors.Is(err, registrar.ErrDSRejected) {
+	if err := r.BootstrapDS(context.Background(), "drafted.com", garbage); !errors.Is(err, registrar.ErrDSRejected) {
 		t.Errorf("garbage bootstrap: %v", err)
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"context"
 
 	"securepki.org/registrarsec/internal/dnssec"
-	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/dnswire"
 	"securepki.org/registrarsec/internal/simtime"
 )
@@ -33,7 +33,7 @@ type CDSReport struct {
 //
 // This is the mechanism the paper's section 8 recommends registries deploy
 // to remove the human DS-relay step entirely.
-func (r *Registry) ScanCDS(ctx context.Context, ex dnsserver.Exchanger, day simtime.Day, bootstrap bool) (*CDSReport, error) {
+func (r *Registry) ScanCDS(ctx context.Context, ex exchange.Exchanger, day simtime.Day, bootstrap bool) (*CDSReport, error) {
 	if !r.cfg.SupportsCDS {
 		return nil, ErrNoDNSSEC
 	}
@@ -130,7 +130,7 @@ func (r *Registry) ScanCDS(ctx context.Context, ex dnsserver.Exchanger, day simt
 
 // fetchCDS queries a domain's nameservers for its CDS RRset and DNSKEY
 // RRset (both with signatures).
-func (r *Registry) fetchCDS(ctx context.Context, ex dnsserver.Exchanger, qid uint16, domain string, ns []string) (cdsRRs []*dnswire.RR, cdsSigs []*dnswire.RRSIG, keys []*dnswire.DNSKEY, keyRRs []*dnswire.RR, keySigs []*dnswire.RRSIG) {
+func (r *Registry) fetchCDS(ctx context.Context, ex exchange.Exchanger, qid uint16, domain string, ns []string) (cdsRRs []*dnswire.RR, cdsSigs []*dnswire.RRSIG, keys []*dnswire.DNSKEY, keyRRs []*dnswire.RR, keySigs []*dnswire.RRSIG) {
 	ask := func(t dnswire.Type) *dnswire.Message {
 		q := dnswire.NewQuery(qid, domain, t)
 		q.SetEDNS(4096, true)

@@ -20,6 +20,7 @@ import (
 
 	"securepki.org/registrarsec/internal/dnssec"
 	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/dnswire"
 	"securepki.org/registrarsec/internal/simtime"
 	"securepki.org/registrarsec/internal/zone"
@@ -416,7 +417,7 @@ type HealthReport struct {
 // signature — the daily compliance test .nl and .se run (section 6.3).
 // Correctly signed domains accrue the pro-rated daily discount for their
 // registrar unless the registrar is over the failure threshold.
-func (r *Registry) HealthCheck(ctx context.Context, ex dnsserver.Exchanger, day simtime.Day) (*HealthReport, error) {
+func (r *Registry) HealthCheck(ctx context.Context, ex exchange.Exchanger, day simtime.Day) (*HealthReport, error) {
 	if r.cfg.Incentive == nil {
 		return nil, errors.New("registry: no incentive program configured")
 	}
@@ -470,7 +471,7 @@ func (r *Registry) HealthCheck(ctx context.Context, ex dnsserver.Exchanger, day 
 }
 
 // domainHealthy checks one domain's DS↔DNSKEY linkage via live queries.
-func (r *Registry) domainHealthy(ctx context.Context, ex dnsserver.Exchanger, qid uint16, domain string, ns []string, ds []*dnswire.DS, day simtime.Day) bool {
+func (r *Registry) domainHealthy(ctx context.Context, ex exchange.Exchanger, qid uint16, domain string, ns []string, ds []*dnswire.DS, day simtime.Day) bool {
 	q := dnswire.NewQuery(qid, domain, dnswire.TypeDNSKEY)
 	q.SetEDNS(4096, true)
 	var resp *dnswire.Message

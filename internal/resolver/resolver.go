@@ -2,11 +2,13 @@
 // referrals from the root, with optional DNSSEC validation on top of
 // package dnssec.
 //
-// The resolver is transport-agnostic: it issues queries through a
-// dnsserver.Exchanger, so the same code resolves against real UDP/TCP
-// servers and against the in-memory ecosystem simulation. This mirrors how
-// the paper's measurements work — the OpenINTEL scans and the hands-on
-// registrar probes both observe domains strictly through DNS queries.
+// The resolver is transport-agnostic: it issues queries through an
+// exchange.Exchanger stack (retry, per-server health breaker, optional
+// dedup and message cache — see internal/exchange), so the same code
+// resolves against real UDP/TCP servers and against the in-memory
+// ecosystem simulation. This mirrors how the paper's measurements work —
+// the OpenINTEL scans and the hands-on registrar probes both observe
+// domains strictly through DNS queries.
 package resolver
 
 import (
@@ -17,8 +19,8 @@ import (
 	"sync/atomic"
 
 	"securepki.org/registrarsec/internal/dnssec"
-	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/retry"
 )
 
@@ -35,8 +37,8 @@ var (
 type Config struct {
 	// Roots are the addresses of the root nameservers.
 	Roots []string
-	// Exchange issues individual queries.
-	Exchange dnsserver.Exchanger
+	// Exchange issues individual queries (the transport).
+	Exchange exchange.Exchanger
 	// AddrOf maps an NS hostname to a server address when no glue is
 	// available. The in-memory simulation registers handlers under the NS
 	// hostname itself, so identity is the default.
@@ -49,6 +51,15 @@ type Config struct {
 	// disables retries; transient transport errors then immediately
 	// rotate to the next server).
 	Retry *retry.Policy
+	// Health tunes the per-server circuit breaker (nil = defaults). The
+	// breaker layer is always present: it drives healthy-first server
+	// ordering during referral chases.
+	Health *exchange.HealthOptions
+	// Dedup coalesces identical in-flight queries.
+	Dedup bool
+	// Cache adds a TTL-honoring message cache below the referral cache
+	// (nil disables it).
+	Cache *exchange.CacheOptions
 }
 
 // Result is the outcome of an iterative resolution.
@@ -87,15 +98,14 @@ func (r *Result) RRSet(name string, t dnswire.Type) *dnssec.RRSet {
 
 // Resolver iteratively resolves names starting from the root servers.
 type Resolver struct {
-	cfg      Config
-	exchange dnsserver.Exchanger
+	cfg   Config
+	stack *exchange.Stack
 
 	mu    sync.RWMutex
 	cache map[string]cacheEntry // zone apex -> servers + cut chain
 
 	queries atomic.Int64
 	id      atomic.Uint32
-	rot     atomic.Uint32
 	lame    atomic.Int64
 	errs    atomic.Int64
 }
@@ -109,14 +119,27 @@ func New(cfg Config) *Resolver {
 		cfg.AddrOf = func(host string) (string, bool) { return host, true }
 	}
 	r := &Resolver{cfg: cfg, cache: make(map[string]cacheEntry)}
-	r.exchange = cfg.Exchange
-	if cfg.Retry != nil {
-		// Lame rcodes stay with exchangeAny's own server rotation; the
+	if cfg.Exchange != nil {
+		hopts := cfg.Health
+		if hopts == nil {
+			hopts = &exchange.HealthOptions{}
+		}
+		// Lame rcodes stay with exchangeAny's own server failover; the
 		// retry layer only absorbs transient transport faults.
-		r.exchange = dnsserver.NewRetrying(cfg.Exchange, *cfg.Retry)
+		r.stack = exchange.MustBuild(exchange.Options{
+			Transport: cfg.Exchange,
+			Retry:     cfg.Retry,
+			Health:    hopts,
+			Dedup:     cfg.Dedup,
+			Cache:     cfg.Cache,
+		})
 	}
 	return r
 }
+
+// Stack exposes the assembled exchange stack (per-layer counters, server
+// health); nil when the resolver was built without an Exchange.
+func (r *Resolver) Stack() *exchange.Stack { return r.stack }
 
 // Queries returns the number of upstream queries sent.
 func (r *Resolver) Queries() int64 { return r.queries.Load() }
@@ -129,12 +152,16 @@ func (r *Resolver) LameResponses() int64 { return r.lame.Load() }
 // configured retries) and forced a server rotation.
 func (r *Resolver) TransportErrors() int64 { return r.errs.Load() }
 
-// FlushCache clears the referral cache; the simulation calls this when it
-// mutates delegations between measurement days.
+// FlushCache clears the referral cache and any message cache in the
+// exchange stack; the simulation calls this when it mutates delegations
+// between measurement days.
 func (r *Resolver) FlushCache() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.cache = make(map[string]cacheEntry)
+	r.mu.Unlock()
+	if r.stack != nil {
+		r.stack.FlushCache()
+	}
 }
 
 // cacheEntry remembers a zone cut's nameserver addresses and the chain of
@@ -166,21 +193,23 @@ func (r *Resolver) newQuery(name string, t dnswire.Type) *dnswire.Message {
 	return q
 }
 
-// exchangeAny rotates through the servers until one gives a usable answer:
-// a transport error or lame rcode (SERVFAIL/REFUSED) moves on to the next
-// server rather than failing the referral chase. The starting offset is a
-// deterministic round-robin, which spreads load across a zone's NS set
+// exchangeAny tries servers until one gives a usable answer: a transport
+// error or lame rcode (SERVFAIL/REFUSED) moves on to the next server
+// rather than failing the referral chase. Ordering comes from the exchange
+// stack's health layer — open-circuit servers are tried last, and a
+// deterministic round-robin offset spreads load across a zone's NS set
 // without making failure behavior depend on a global random source.
 func (r *Resolver) exchangeAny(ctx context.Context, servers []string, q *dnswire.Message) (*dnswire.Message, string, error) {
 	if len(servers) == 0 {
 		return nil, "", ErrNoServers
 	}
+	if r.stack == nil {
+		return nil, "", ErrNoServers
+	}
 	var lastErr error = ErrAllServersBad
-	off := int(r.rot.Add(1)-1) % len(servers)
-	for i := range servers {
-		server := servers[(off+i)%len(servers)]
+	for _, server := range r.stack.OrderServers(servers) {
 		r.queries.Add(1)
-		resp, err := r.exchange.Exchange(ctx, server, q)
+		resp, err := r.stack.Exchange(ctx, server, q)
 		if err != nil {
 			r.errs.Add(1)
 			lastErr = err

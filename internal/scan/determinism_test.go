@@ -1,0 +1,96 @@
+package scan_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/exchange"
+	"securepki.org/registrarsec/internal/faultnet"
+	"securepki.org/registrarsec/internal/retry"
+	"securepki.org/registrarsec/internal/scan"
+)
+
+// runLossySweep scans the buildWorld population through a fault injector
+// that drops half the queries aimed at domain nameservers (the TLD
+// registry servers stay clean), optionally with the cache and dedup layers
+// enabled, and returns the sweep's serialized TSV plus its reports.
+//
+// Faults are restricted to the domain NS hosts on purpose: the injector
+// only consumes per-question attempt draws for matched servers, so a cache
+// hit on a clean-server response cannot shift the fault schedule of any
+// faulted query — the two configurations must observe identical network
+// outcomes.
+func runLossySweep(t *testing.T, cached bool) (string, *scan.SweepHealth, exchange.Counters) {
+	t.Helper()
+	eco, targets := buildWorld(t)
+	inj := faultnet.New(nil, 7, nil, faultnet.Rule{Pattern: "*.net", Loss: 0.5})
+	cfg := scan.Config{
+		Exchange:   eco.Net,
+		Middleware: []exchange.Middleware{inj.Middleware()},
+		TLDServers: map[string]string{
+			"com": dnstest.TLDServerAddr("com"),
+			"nl":  dnstest.TLDServerAddr("nl"),
+		},
+		// One worker keeps record order a pure function of target order, so
+		// the outputs can be compared byte for byte.
+		Workers:     1,
+		Clock:       eco.Clock.Day,
+		Retry:       retry.Policy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+		MaxResweeps: 2,
+	}
+	if cached {
+		cfg.Cache = &exchange.CacheOptions{}
+		cfg.Dedup = true
+	}
+	s, err := scan.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, health, err := s.ScanDay(context.Background(), eco.Clock.Day(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), health, s.Stack().Counters()
+}
+
+// TestCachedSweepOutputIdenticalUnderFaults locks in the measurement-layer
+// guarantee behind the cache and dedup optimizations: they may only remove
+// redundant transport exchanges, never change what a sweep observes. A
+// lossy sweep with the full stack enabled must produce a byte-identical
+// TSV snapshot to the bare retry-only path.
+func TestCachedSweepOutputIdenticalUnderFaults(t *testing.T) {
+	plainTSV, plainHealth, plainCounters := runLossySweep(t, false)
+	cachedTSV, cachedHealth, cachedCounters := runLossySweep(t, true)
+
+	if plainTSV != cachedTSV {
+		t.Errorf("cache/dedup changed sweep output\n--- uncached ---\n%s--- cached ---\n%s", plainTSV, cachedTSV)
+	}
+	for class, n := range plainHealth.ByClass {
+		if cachedHealth.ByClass[class] != n {
+			t.Errorf("failure class %s: %d uncached vs %d cached", class, n, cachedHealth.ByClass[class])
+		}
+	}
+	// The faults must actually have bitten — a clean sweep would make the
+	// equality vacuous — and recovery must have exercised the resweep path,
+	// which is where the cache earns its keep (re-asked clean queries).
+	if plainHealth.Retries == 0 {
+		t.Error("no retries: fault injection did not engage")
+	}
+	if cachedHealth.Resweeps == 0 {
+		t.Error("no resweeps: equality never exercised the warm cache")
+	}
+	if cachedCounters.Cache.Hits == 0 {
+		t.Error("cache never hit during the cached sweep")
+	}
+	if cachedCounters.Transport.Exchanges >= plainCounters.Transport.Exchanges {
+		t.Errorf("cache saved nothing: %d transport exchanges cached vs %d uncached",
+			cachedCounters.Transport.Exchanges, plainCounters.Transport.Exchanges)
+	}
+}

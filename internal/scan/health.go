@@ -7,7 +7,7 @@ import (
 	"sort"
 	"strings"
 
-	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/simtime"
 )
 
@@ -77,6 +77,11 @@ type SweepHealth struct {
 	// Resweeps is how many bounded re-sweep passes ran over failed
 	// targets.
 	Resweeps int
+	// Exchange is the exchange stack's per-layer interval accounting for
+	// this sweep: transport exchanges, cache hit rate, dedup coalescing,
+	// breaker activity. Retries/FailedExchanges above are its retry
+	// section, kept as top-level fields for compatibility.
+	Exchange exchange.Counters
 }
 
 // Complete reports whether every target was either measured or positively
@@ -111,6 +116,7 @@ func (h *SweepHealth) Merge(o *SweepHealth) {
 	h.Retries += o.Retries
 	h.FailedExchanges += o.FailedExchanges
 	h.Resweeps += o.Resweeps
+	h.Exchange = h.Exchange.Add(o.Exchange)
 }
 
 // FailureRate is the fraction of targets that could not be measured.
@@ -144,6 +150,9 @@ func (h *SweepHealth) String() string {
 	if h.Resweeps > 0 {
 		fmt.Fprintf(&sb, ", %d resweep(s)", h.Resweeps)
 	}
+	if h.Exchange.Transport.Exchanges > 0 {
+		fmt.Fprintf(&sb, " [%s]", h.Exchange)
+	}
 	return sb.String()
 }
 
@@ -156,7 +165,7 @@ func classifyErr(err error) FailClass {
 	switch {
 	case errors.Is(err, context.Canceled):
 		return FailCancelled
-	case errors.Is(err, dnsserver.ErrNoRoute):
+	case errors.Is(err, exchange.ErrNoRoute):
 		return FailNoRoute
 	case errors.Is(err, context.DeadlineExceeded):
 		return FailTimeout

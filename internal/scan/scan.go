@@ -5,13 +5,22 @@
 // the exact observable basis of the paper's longitudinal study (section
 // 4.1).
 //
-// A worker pool issues the queries through a dnsserver.Exchanger, so scans
-// run identically against the in-memory simulation and against real
+// A worker pool issues the queries through an exchange.Build stack, so
+// scans run identically against the in-memory simulation and against real
 // UDP/TCP servers. The engine assumes an unhealthy network: every query
 // runs under a retry policy, the DNSKEY step fails over across all NS
-// hosts, failed targets get bounded re-sweep passes, and each ScanDay
-// returns a SweepHealth report accounting for everything it could not
-// measure.
+// hosts — consulting the stack's per-server health so re-sweep passes stop
+// leading with known-dead servers — failed targets get bounded re-sweep
+// passes, and each ScanDay returns a SweepHealth report accounting for
+// everything it could not measure, including the exchange stack's
+// per-layer counters.
+//
+// Determinism contract: the scanner's outputs are a pure function of the
+// zone data and the fault schedule, independent of worker interleaving.
+// The health layer therefore runs with fast-fail disabled (bookkeeping
+// only), and re-sweep ordering consults a dead-server set frozen at each
+// pass boundary — commutative counters whose pass-boundary values do not
+// depend on scheduling.
 package scan
 
 import (
@@ -22,8 +31,8 @@ import (
 
 	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/dnssec"
-	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/retry"
 	"securepki.org/registrarsec/internal/simtime"
 	"securepki.org/registrarsec/internal/zone"
@@ -37,8 +46,8 @@ type Target struct {
 
 // Config configures a Scanner.
 type Config struct {
-	// Exchange carries queries.
-	Exchange dnsserver.Exchanger
+	// Exchange is the transport that carries queries.
+	Exchange exchange.Exchanger
 	// TLDServers maps each TLD to its authoritative server address.
 	TLDServers map[string]string
 	// Workers is the concurrency of the sweep (default 16).
@@ -50,14 +59,28 @@ type Config struct {
 	// MaxResweeps bounds the re-sweep passes over failed targets at the
 	// end of a sweep (default 2; negative disables re-sweeping).
 	MaxResweeps int
+	// Middleware is composed into the exchange stack between the retry
+	// layer and the transport — the slot a fault injector occupies, so
+	// injected faults consume retry attempts exactly like real ones.
+	Middleware []exchange.Middleware
+	// Dedup coalesces identical in-flight queries across workers.
+	Dedup bool
+	// Cache adds a TTL message cache above everything (nil disables). The
+	// scanner flushes it automatically when ScanDay's day changes, so a
+	// longitudinal run can never serve yesterday's zone from cache.
+	Cache *exchange.CacheOptions
 }
 
 // Scanner sweeps domain populations.
 type Scanner struct {
 	cfg     Config
-	rex     *dnsserver.RetryingExchanger
+	stack   *exchange.Stack
 	queries atomic.Int64
 	qid     atomic.Uint32
+
+	mu      sync.Mutex
+	lastDay simtime.Day
+	hasDay  bool
 }
 
 // New creates a scanner.
@@ -82,11 +105,28 @@ func New(cfg Config) (*Scanner, error) {
 	}
 	// Lame rcodes and truncation are retried too: the in-memory transport
 	// has no TCP fallback, and a transient SERVFAIL should cost a retry,
-	// not a record.
-	rex := dnsserver.NewRetrying(cfg.Exchange, cfg.Retry,
-		dnsserver.RetryLame(), dnsserver.RetryTruncated())
-	return &Scanner{cfg: cfg, rex: rex}, nil
+	// not a record. Health runs with fast-fail disabled — see the package
+	// determinism contract.
+	stack, err := exchange.Build(exchange.Options{
+		Transport:      cfg.Exchange,
+		Middleware:     cfg.Middleware,
+		Retry:          &cfg.Retry,
+		RetryLame:      true,
+		RetryTruncated: true,
+		Health:         &exchange.HealthOptions{DisableFastFail: true},
+		Dedup:          cfg.Dedup,
+		Cache:          cfg.Cache,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	return &Scanner{cfg: cfg, stack: stack}, nil
 }
+
+// Stack exposes the scanner's exchange stack: per-layer counters for
+// benchmarks and health reports, the message cache for explicit flushes,
+// and the per-server health record that persists across ScanDay calls.
+func (s *Scanner) Stack() *exchange.Stack { return s.stack }
 
 // Queries reports the total logical queries issued across all sweeps
 // (retries of the same query are not double-counted).
@@ -115,19 +155,26 @@ const (
 // error — the clean-interruption contract the checkpoint/resume path
 // builds on.
 func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target) (*dataset.Snapshot, *SweepHealth, error) {
+	s.flushOnDayChange(day)
 	snap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(targets))}
 	health := &SweepHealth{Day: day, Targets: len(targets), ByClass: make(map[FailClass]int)}
-	startRetries, startFailed := s.rex.Retries(), s.rex.Failures()
+	start := s.stack.Counters()
 	defer func() {
 		health.Measured = snap.MeasuredCount()
-		health.Retries = s.rex.Retries() - startRetries
-		health.FailedExchanges = s.rex.Failures() - startFailed
+		health.Exchange = s.stack.Counters().Sub(start)
+		health.Retries = health.Exchange.Retry.Retries
+		health.FailedExchanges = health.Exchange.Retry.Failures
 	}()
 
 	pending := targets
 	var failures []Failure
+	// dead is the frozen known-dead server set consulted for DNSKEY host
+	// ordering; empty on the first pass, refreshed from the health layer at
+	// each re-sweep boundary so later passes stop leading with servers that
+	// answered nothing all sweep.
+	var dead map[string]bool
 	for pass := 0; ; pass++ {
-		failures = s.sweep(ctx, snap, health, pending)
+		failures = s.sweep(ctx, snap, health, pending, dead)
 		if err := ctx.Err(); err != nil {
 			s.recordFailures(snap, health, failures)
 			return snap, health, err
@@ -139,6 +186,7 @@ func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target
 		// a transient outage may have cleared, and retried queries draw
 		// new network samples.
 		health.Resweeps++
+		dead = s.deadServers()
 		pending = make([]Target, len(failures))
 		for i := range failures {
 			pending[i] = failures[i].Target
@@ -148,9 +196,38 @@ func (s *Scanner) ScanDay(ctx context.Context, day simtime.Day, targets []Target
 	return snap, health, nil
 }
 
+// flushOnDayChange drops the message cache when the simulated day moves:
+// zone mutations between days must never be masked by yesterday's cached
+// answers. Re-scans of the same day keep the warm cache.
+func (s *Scanner) flushOnDayChange(day simtime.Day) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hasDay && day != s.lastDay {
+		s.stack.FlushCache()
+	}
+	s.lastDay, s.hasDay = day, true
+}
+
+// deadServers snapshots the health layer's known-dead set: servers that
+// failed at least once and never answered. The totals are commutative, so
+// at a pass boundary (workers quiesced) the set is a deterministic
+// function of the completed passes' outcomes, not of worker interleaving.
+func (s *Scanner) deadServers() map[string]bool {
+	var dead map[string]bool
+	for addr, sh := range s.stack.Health.Snapshot() {
+		if sh.Dead() {
+			if dead == nil {
+				dead = make(map[string]bool)
+			}
+			dead[addr] = true
+		}
+	}
+	return dead
+}
+
 // sweep runs one worker-pool pass over the targets, appending measured
 // records to snap and returning the targets that failed.
-func (s *Scanner) sweep(ctx context.Context, snap *dataset.Snapshot, health *SweepHealth, targets []Target) []Failure {
+func (s *Scanner) sweep(ctx context.Context, snap *dataset.Snapshot, health *SweepHealth, targets []Target, dead map[string]bool) []Failure {
 	var mu sync.Mutex
 	var failures []Failure
 	jobs := make(chan Target)
@@ -160,7 +237,7 @@ func (s *Scanner) sweep(ctx context.Context, snap *dataset.Snapshot, health *Swe
 		go func() {
 			defer wg.Done()
 			for t := range jobs {
-				rec, status, fail := s.scanOne(ctx, t)
+				rec, status, fail := s.scanOne(ctx, t, dead)
 				mu.Lock()
 				switch status {
 				case statusMeasured:
@@ -220,7 +297,7 @@ func (s *Scanner) exchange(ctx context.Context, server string, name string, t dn
 	q := dnswire.NewQuery(uint16(s.qid.Add(1)), name, t)
 	q.SetEDNS(4096, true)
 	s.queries.Add(1)
-	return s.rex.Exchange(ctx, server, q)
+	return s.stack.Exchange(ctx, server, q)
 }
 
 // failTarget builds a Failure for one target.
@@ -232,8 +309,30 @@ func failTarget(t Target, stage string, class FailClass, err error) *Failure {
 	return f
 }
 
-// scanOne collects the four facts for one domain.
-func (s *Scanner) scanOne(ctx context.Context, t Target) (dataset.Record, scanStatus, *Failure) {
+// orderHosts returns hosts with known-dead servers moved to the back,
+// preserving relative order within each group; with no dead set it returns
+// hosts unchanged. Dead servers are still tried last — a recovered server
+// can answer and clear its record — but they no longer eat a timeout
+// budget before every live host.
+func orderHosts(hosts []string, dead map[string]bool) []string {
+	if len(dead) == 0 || len(hosts) <= 1 {
+		return hosts
+	}
+	alive := make([]string, 0, len(hosts))
+	var down []string
+	for _, h := range hosts {
+		if dead[h] {
+			down = append(down, h)
+		} else {
+			alive = append(alive, h)
+		}
+	}
+	return append(alive, down...)
+}
+
+// scanOne collects the four facts for one domain. dead, when non-nil, is
+// the pass-frozen known-dead server set used to order DNSKEY failover.
+func (s *Scanner) scanOne(ctx context.Context, t Target, dead map[string]bool) (dataset.Record, scanStatus, *Failure) {
 	rec := dataset.Record{Domain: t.Domain, TLD: t.TLD}
 	tldServer, ok := s.cfg.TLDServers[t.TLD]
 	if !ok {
@@ -286,13 +385,15 @@ func (s *Scanner) scanOne(ctx context.Context, t Target) (dataset.Record, scanSt
 
 	// 3. DNSKEY (+RRSIG) from the domain's own nameservers. Every NS host
 	// is tried before the domain is declared keyless: a lame or dark
-	// first host must fail over, not misclassify.
+	// first host must fail over, not misclassify. Re-sweep passes order
+	// the hosts by the health layer's record so known-dead servers go
+	// last instead of being re-probed first every pass.
 	var keys []*dnswire.DNSKEY
 	var keyRRs []*dnswire.RR
 	var sigs []*dnswire.RRSIG
 	responsive := false
 	var lastHostErr error
-	for _, host := range rec.NSHosts {
+	for _, host := range orderHosts(rec.NSHosts, dead) {
 		resp, err := s.exchange(ctx, host, t.Domain, dnswire.TypeDNSKEY)
 		if err != nil {
 			lastHostErr = err

@@ -1,6 +1,7 @@
 package tldsim
 
 import (
+	"context"
 	"testing"
 
 	"securepki.org/registrarsec/internal/channel"
@@ -52,7 +53,7 @@ func TestTable2HeadlineNumbers(t *testing.T) {
 	p := probe.New(&probe.Env{
 		Net: eco.Net, Registries: eco.Registries, Anchor: eco.Anchor, Clock: eco.Clock.Day,
 	})
-	obs := p.RunAll(top20)
+	obs := p.RunAll(context.Background(), top20)
 	s := probe.Summarize(obs)
 
 	if s.HostedSupport != 3 {
@@ -119,7 +120,7 @@ func TestTable3HeadlineNumbers(t *testing.T) {
 	if len(regs) != 10 {
 		t.Fatalf("Table 3 population = %d registrars", len(regs))
 	}
-	obs := p.RunAll(regs)
+	obs := p.RunAll(context.Background(), regs)
 	s := probe.Summarize(obs)
 	if s.HostedSupport != 10 {
 		t.Errorf("hosted support = %d of 10", s.HostedSupport)

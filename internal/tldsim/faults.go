@@ -5,7 +5,7 @@ import (
 	"sort"
 	"time"
 
-	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/faultnet"
 	"securepki.org/registrarsec/internal/simtime"
 )
@@ -71,4 +71,4 @@ func (m *Materialized) FaultyExchanger(seed int64, rules ...faultnet.Rule) *faul
 // that need to address one operator's server directly.
 func NSHostOf(operator string) string { return nsFor(operator) }
 
-var _ dnsserver.Exchanger = (*faultnet.Injector)(nil)
+var _ exchange.Exchanger = (*faultnet.Injector)(nil)

@@ -26,8 +26,8 @@ import (
 	"securepki.org/registrarsec/internal/colstore"
 	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/dnssec"
-	"securepki.org/registrarsec/internal/dnsserver"
 	"securepki.org/registrarsec/internal/ecosystem"
+	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/faultnet"
 	"securepki.org/registrarsec/internal/probe"
 	"securepki.org/registrarsec/internal/registrar"
@@ -168,12 +168,12 @@ func (s *Study) Prober() *probe.Prober {
 
 // ProbeTable2 runs the hands-on methodology against the top-20 registrars.
 func (s *Study) ProbeTable2() []*Observation {
-	return s.Prober().RunAll(s.Top20)
+	return s.Prober().RunAll(context.Background(), s.Top20)
 }
 
 // ProbeTable3 runs it against the ten DNSSEC-heavy registrars.
 func (s *Study) ProbeTable3() []*Observation {
-	return s.Prober().RunAll(s.Top10)
+	return s.Prober().RunAll(context.Background(), s.Top10)
 }
 
 // SurveyTable4 asks the eleven DNSSEC-supporting DNS operators for their
@@ -249,12 +249,14 @@ func (s *Study) ScanSampleFaulty(ctx context.Context, day Day, n int, workers in
 	if err != nil {
 		return nil, nil, err
 	}
-	var exchange dnsserver.Exchanger = mat.Net
+	var mw []exchange.Middleware
 	if len(rules) > 0 {
-		exchange = faultnet.New(mat.Net, faultSeed, func() simtime.Day { return day }, rules...)
+		inj := faultnet.New(nil, faultSeed, func() simtime.Day { return day }, rules...)
+		mw = append(mw, inj.Middleware())
 	}
 	scanner, err := scan.New(scan.Config{
-		Exchange:   exchange,
+		Exchange:   mat.Net,
+		Middleware: mw,
 		TLDServers: mat.TLDServers,
 		Workers:    workers,
 		Clock:      func() simtime.Day { return day },
@@ -331,12 +333,14 @@ func (s *Study) ScanLongitudinal(ctx context.Context, cfg LongitudinalConfig) (*
 		if err != nil {
 			return nil, nil, err
 		}
-		var exchange dnsserver.Exchanger = mat.Net
+		var mw []exchange.Middleware
 		if len(cfg.Rules) > 0 {
-			exchange = faultnet.New(mat.Net, cfg.FaultSeed, func() simtime.Day { return day }, cfg.Rules...)
+			inj := faultnet.New(nil, cfg.FaultSeed, func() simtime.Day { return day }, cfg.Rules...)
+			mw = append(mw, inj.Middleware())
 		}
 		scanner, err := scan.New(scan.Config{
-			Exchange:   exchange,
+			Exchange:   mat.Net,
+			Middleware: mw,
 			TLDServers: mat.TLDServers,
 			Workers:    cfg.Workers,
 			Clock:      func() simtime.Day { return day },
