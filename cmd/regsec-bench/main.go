@@ -10,6 +10,7 @@
 //
 //	regsec-bench [-scale 1000] [-seed 1] [-o BENCH_colstore.json] [-compare old.json]
 //	             [-exchange-o BENCH_exchange.json] [-exchange-sample 400] [-exchange-passes 3]
+//	             [-dsweep-o BENCH_dsweep.json] [-dsweep-scale 4000] [-dsweep-sample 150] [-dsweep-shards 4]
 //
 // Each analytics workload is benchmarked in its colstore and legacy
 // variants via testing.Benchmark; the emitted file carries ns/op,
@@ -22,6 +23,12 @@
 // cold pass, the rest warm) with and without the cache+dedup layers,
 // verifying the scan output is identical and gating on the transport-
 // exchange reduction (exit 1 below -exchange-min-reduction, default 2x).
+//
+// The dsweep section runs the coordinator/worker topology at fleet sizes
+// 1, 2 and 4 over a shared checkpoint directory, recording wall-clock and
+// re-lease counts in BENCH_dsweep.json, then kills a worker mid-shard and
+// gates on the recovered archive staying byte-identical (exit 1 on any
+// divergence).
 package main
 
 import (
@@ -61,6 +68,10 @@ func run() int {
 	exchangeSample := flag.Int("exchange-sample", 400, "domains materialized for the exchange benchmark")
 	exchangePasses := flag.Int("exchange-passes", 3, "same-day scan passes (first cold, rest warm)")
 	exchangeMinReduction := flag.Float64("exchange-min-reduction", 2, "minimum cached/uncached transport-exchange reduction (exit 1 below it)")
+	dsweepOut := flag.String("dsweep-o", "BENCH_dsweep.json", "distributed-sweep baseline output path (empty disables)")
+	dsweepScale := flag.Float64("dsweep-scale", 4000, "population divisor for the distributed-sweep benchmark world")
+	dsweepSample := flag.Int("dsweep-sample", 150, "domains per day in the distributed-sweep benchmark")
+	dsweepShards := flag.Int("dsweep-shards", 4, "shards per day in the distributed-sweep benchmark")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "building world (scale 1/%.0f, seed %d)...\n", *scaleDiv, *seed)
@@ -216,6 +227,17 @@ func run() int {
 			Passes:       *exchangePasses,
 			MinReduction: *exchangeMinReduction,
 			OutPath:      *exchangeOut,
+		}); code != 0 {
+			return code
+		}
+	}
+	if *dsweepOut != "" {
+		if code := runDsweepBench(dsweepBenchConfig{
+			ScaleDivisor: *dsweepScale,
+			Seed:         *seed,
+			Sample:       *dsweepSample,
+			Shards:       *dsweepShards,
+			OutPath:      *dsweepOut,
 		}); code != 0 {
 			return code
 		}

@@ -11,6 +11,19 @@
 //	            [-checkpoint-dir state/] [-resume] [-shards 4]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
+//	regsec-scan -worker http://coordinator:7353 -checkpoint-dir state/
+//	            [-name w1] [-fault-profile vantage.txt] [-vantage-seed 1]
+//
+// The second form joins a distributed sweep as a worker: the sweep plan
+// (days, sample, world, sharding) comes from a regsec-sweepd coordinator,
+// so the plan-shaping flags of the first form are rejected. The worker
+// claims (day, shard) leases, scans them through its own exchange stack,
+// flushes checksummed shard archives into the shared -checkpoint-dir, and
+// heartbeats while working; killing it at any instant is safe — the
+// coordinator re-leases its unit. -fault-profile overlays this worker's
+// own vantage-point fault rules (see faultnet.ParseProfile) without
+// affecting the sweep plan.
+//
 // With -o the snapshots are written as a checksummed TSV archive (each
 // day's section carries a length+CRC trailer) that regsec-report -archive
 // can analyze and salvage; otherwise records go to stdout. The -fault-*
@@ -38,6 +51,7 @@ import (
 	"time"
 
 	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/dsweep"
 	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/faultnet"
 	"securepki.org/registrarsec/internal/profdump"
@@ -70,7 +84,19 @@ func run() int {
 	shards := flag.Int("shards", 4, "checkpoint units per day (granularity of resume)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	workerURL := flag.String("worker", "", "join a distributed sweep as a worker of the coordinator at this URL")
+	workerName := flag.String("name", "", "worker identity (default hostname-pid); unique per sweep")
+	faultProfile := flag.String("fault-profile", "", "vantage-point fault profile file for this worker (worker mode only)")
+	vantageSeed := flag.Int64("vantage-seed", 1, "seed for the vantage-point fault schedule (worker mode only)")
 	flag.Parse()
+
+	// Reject contradictory flag combinations before any work starts.
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	stopProfiles, err := profdump.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -78,6 +104,10 @@ func run() int {
 		return 2
 	}
 	defer stopProfiles()
+
+	if *workerURL != "" {
+		return runWorker(*workerURL, *workerName, *cpDir, *faultProfile, *vantageSeed)
+	}
 
 	var days []simtime.Day
 	for _, part := range strings.Split(*daysStr, ",") {
@@ -87,10 +117,6 @@ func run() int {
 			return 2
 		}
 		days = append(days, day)
-	}
-	if *resume && *cpDir == "" {
-		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
-		return 2
 	}
 
 	var cp *checkpoint.Store
@@ -232,5 +258,115 @@ func run() int {
 	fmt.Fprintf(os.Stderr, "scanned %d records across %d day(s) in %v (%d DNS queries)\n",
 		total, store.Len(), time.Since(start).Round(time.Millisecond), queries)
 	fmt.Fprintf(os.Stderr, "exchange stack: %s\n", stackTotals)
+	return 0
+}
+
+// planFlags are the flags that shape a sweep's output. In worker mode the
+// plan comes from the coordinator, so setting any of them locally would
+// silently disagree with every other participant — reject instead.
+var planFlags = []string{
+	"scale", "seed", "days", "sample", "shards", "workers", "o", "retries",
+	"resweeps", "cache", "dedup", "fault-frac", "fault-loss", "fault-seed",
+	"resume",
+}
+
+// workerOnlyFlags only have meaning when joining a coordinator.
+var workerOnlyFlags = []string{"name", "fault-profile", "vantage-seed"}
+
+// validateFlags rejects contradictory combinations of explicitly set
+// flags with errors that say which flag to drop or where to set it.
+func validateFlags(set map[string]bool) error {
+	if set["worker"] {
+		var bad []string
+		for _, f := range planFlags {
+			if set[f] {
+				bad = append(bad, "-"+f)
+			}
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("-worker mode takes the sweep plan from the coordinator: drop %s here and set them on regsec-sweepd instead",
+				strings.Join(bad, ", "))
+		}
+		if !set["checkpoint-dir"] {
+			return fmt.Errorf("-worker requires -checkpoint-dir: the shard store shared with the coordinator")
+		}
+		return nil
+	}
+	for _, f := range workerOnlyFlags {
+		if set[f] {
+			return fmt.Errorf("-%s only applies to -worker mode (pass -worker with the coordinator URL)", f)
+		}
+	}
+	if set["resume"] && !set["checkpoint-dir"] {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	return nil
+}
+
+// runWorker joins a distributed sweep: fetch the plan, rebuild the world
+// from its spec, and claim leases until the coordinator says done.
+func runWorker(url, name, cpDir, profilePath string, vantageSeed int64) int {
+	eventf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := &dsweep.Client{Base: url}
+	plan, err := client.FetchPlan(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if plan.Spec == nil {
+		fmt.Fprintln(os.Stderr, "coordinator's plan carries no world spec; it was not started by regsec-sweepd")
+		return 1
+	}
+	var vantage []faultnet.Rule
+	if profilePath != "" {
+		data, err := os.ReadFile(profilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if vantage, err = faultnet.ParseProfile(string(data)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "vantage profile: %d fault rule(s) from %s\n", len(vantage), profilePath)
+	}
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	fmt.Fprintf(os.Stderr, "worker %s joining sweep %q (%d day(s) × %d shard(s))\n",
+		name, plan.Fingerprint, len(plan.Days), plan.Shards)
+
+	setup, err := plan.Spec.Build(vantage, vantageSeed, eventf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	store, err := checkpoint.Open(cpDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	w, err := dsweep.NewWorker(dsweep.WorkerConfig{
+		Name: name, Coord: client, Store: store, Setup: setup, OnEvent: eventf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := w.Run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "worker %s interrupted; its in-flight lease will expire and be re-leased\n", name)
+			return 130
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "worker %s done: plan complete\n", name)
 	return 0
 }

@@ -135,15 +135,51 @@ func shardFile(day simtime.Day, shard int) string {
 	return fmt.Sprintf("day-%s-shard-%03d.tsv", day, shard)
 }
 
+// shardFileAs names one shard's archive written by a specific owner, so
+// two workers racing on a re-leased shard can never clobber each other's
+// bytes — each completion is its own file, chosen between by checksum.
+func shardFileAs(day simtime.Day, shard int, owner string) string {
+	return fmt.Sprintf("day-%s-shard-%03d.w-%s.tsv", day, shard, sanitizeOwner(owner))
+}
+
+// sanitizeOwner restricts an owner tag to filename-safe characters.
+func sanitizeOwner(owner string) string {
+	out := make([]byte, 0, len(owner))
+	for i := 0; i < len(owner); i++ {
+		c := owner[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '-')
+		}
+	}
+	if len(out) == 0 {
+		return "anon"
+	}
+	return string(out)
+}
+
 // WriteShard durably writes one completed shard snapshot as a trailered
 // archive and returns its metadata for the state file.
 func (s *Store) WriteShard(day simtime.Day, shard int, snap *dataset.Snapshot) (*Shard, error) {
+	return s.writeShardFile(shardFile(day, shard), snap)
+}
+
+// WriteShardAs is WriteShard under an owner-tagged file name — the variant
+// distributed workers use so duplicate completions of a re-leased shard
+// land in distinct files instead of racing on one.
+func (s *Store) WriteShardAs(day simtime.Day, shard int, owner string, snap *dataset.Snapshot) (*Shard, error) {
+	return s.writeShardFile(shardFileAs(day, shard, owner), snap)
+}
+
+// writeShardFile durably writes one shard snapshot under the given name.
+func (s *Store) writeShardFile(name string, snap *dataset.Snapshot) (*Shard, error) {
 	var buf strings.Builder
 	if err := snap.WriteArchiveSection(&buf); err != nil {
 		return nil, err
 	}
 	data := []byte(buf.String())
-	name := shardFile(day, shard)
 	if err := dataset.WriteFileAtomic(filepath.Join(s.dir, name), data); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,116 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// lockFile is the owner lockfile inside a checkpoint directory. Exactly one
+// process may mutate a checkpoint directory's state at a time: two sweeps
+// interleaving Save calls would silently corrupt each other's progress and
+// could mix shards of different runs into one archive. The lockfile makes
+// the second process fail loudly instead.
+const lockFile = "LOCK"
+
+// lockInfo is the lockfile's JSON payload: enough to tell the operator who
+// holds the directory and to detect a stale lock left by a dead process.
+type lockInfo struct {
+	// PID is the holder's process ID, probed for liveness on conflict.
+	PID int `json:"pid"`
+	// Owner names the holding component ("resumable-sweep", "coordinator").
+	Owner string `json:"owner"`
+	// Fingerprint is the holder's sweep configuration fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Acquired is the wall-clock acquisition time, for diagnostics only.
+	Acquired string `json:"acquired"`
+}
+
+// pidAlive reports whether a process with the given PID exists. Signal 0
+// performs the existence check without delivering anything; EPERM still
+// means "alive, owned by someone else".
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || err == syscall.EPERM
+}
+
+// AcquireLock claims exclusive mutation rights over the checkpoint
+// directory, returning a release function. A lock held by a live process is
+// a hard error — concurrent mutation is exactly the corruption this guards
+// against. A lock whose owner process is gone (a crash or SIGKILL) is
+// stale: it is broken and re-acquired, since the durable state it protected
+// is already consistent (every write in this package is atomic).
+func (s *Store) AcquireLock(owner, fingerprint string) (release func() error, err error) {
+	path := filepath.Join(s.dir, lockFile)
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			info := lockInfo{
+				PID: os.Getpid(), Owner: owner, Fingerprint: fingerprint,
+				Acquired: time.Now().UTC().Format(time.RFC3339),
+			}
+			data, merr := json.Marshal(info)
+			if merr == nil {
+				_, merr = f.Write(append(data, '\n'))
+			}
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+			if merr != nil {
+				os.Remove(path)
+				return nil, fmt.Errorf("checkpoint: writing lock: %w", merr)
+			}
+			return func() error {
+				if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+					return rmErr
+				}
+				return nil
+			}, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("checkpoint: lock: %w", err)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // released between our open and read; retry
+			}
+			return nil, fmt.Errorf("checkpoint: lock: %w", rerr)
+		}
+		var held lockInfo
+		if jerr := json.Unmarshal(data, &held); jerr == nil && pidAlive(held.PID) {
+			return nil, fmt.Errorf(
+				"checkpoint: %s is locked by %s (pid %d, fingerprint %q); refusing concurrent mutation of the same checkpoint directory",
+				s.dir, held.Owner, held.PID, held.Fingerprint)
+		}
+		// Unparseable payload (crash mid-write) or dead owner: stale lock.
+		if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+			return nil, fmt.Errorf("checkpoint: breaking stale lock: %w", rmErr)
+		}
+	}
+	return nil, fmt.Errorf("checkpoint: could not acquire lock in %s", s.dir)
+}
+
+// LockedBy reports the current lock holder, if any — diagnostics for CLI
+// error messages; it takes no part in acquisition.
+func (s *Store) LockedBy() (owner string, pid int, ok bool) {
+	data, err := os.ReadFile(filepath.Join(s.dir, lockFile))
+	if err != nil {
+		return "", 0, false
+	}
+	var held lockInfo
+	if json.Unmarshal(data, &held) != nil {
+		return "", 0, false
+	}
+	return held.Owner, held.PID, true
+}

@@ -1,0 +1,151 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLockExcludesLiveHolder(t *testing.T) {
+	s := openTestStore(t)
+	release, err := s.AcquireLock("sweep-a", "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second acquisition while the holder (this very process) is alive
+	// must fail loudly and name the holder.
+	if _, err := s.AcquireLock("sweep-b", "fp-2"); err == nil ||
+		!strings.Contains(err.Error(), "locked by sweep-a") {
+		t.Fatalf("concurrent lock allowed: %v", err)
+	}
+	owner, pid, ok := s.LockedBy()
+	if !ok || owner != "sweep-a" || pid != os.Getpid() {
+		t.Fatalf("LockedBy: %q %d %v", owner, pid, ok)
+	}
+	if err := release(); err != nil {
+		t.Fatal(err)
+	}
+	// Released: the next acquisition succeeds.
+	release2, err := s.AcquireLock("sweep-b", "fp-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := release2(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.LockedBy(); ok {
+		t.Fatal("lockfile left behind after release")
+	}
+}
+
+func TestLockBreaksStaleDeadOwner(t *testing.T) {
+	s := openTestStore(t)
+	// Fabricate a lock held by a process that no longer exists. PID
+	// 2^22+1 is above the default pid_max on Linux, so no live process
+	// can hold it.
+	stale, _ := json.Marshal(lockInfo{PID: 1<<22 + 1, Owner: "dead-sweep", Fingerprint: "fp-x"})
+	if err := os.WriteFile(filepath.Join(s.Dir(), lockFile), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, err := s.AcquireLock("sweep-new", "fp-y")
+	if err != nil {
+		t.Fatalf("stale lock not broken: %v", err)
+	}
+	defer release()
+	if owner, _, _ := s.LockedBy(); owner != "sweep-new" {
+		t.Fatalf("lock not re-owned: %q", owner)
+	}
+}
+
+func TestLockBreaksUnparseablePayload(t *testing.T) {
+	s := openTestStore(t)
+	// A crash mid-write leaves a torn payload: stale by definition.
+	if err := os.WriteFile(filepath.Join(s.Dir(), lockFile), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, err := s.AcquireLock("sweep", "fp")
+	if err != nil {
+		t.Fatalf("torn lock not broken: %v", err)
+	}
+	release()
+}
+
+func TestWriteShardAsRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	day := simtime.Day(42)
+	snap := &dataset.Snapshot{Day: day, Records: []dataset.Record{
+		{Domain: "b.com", TLD: "com", Operator: "op.net", HasDNSKEY: true},
+		{Domain: "a.com", TLD: "com", Operator: "op.net"},
+	}}
+	snap.Canonicalize()
+
+	plain, err := s.WriteShard(day, 0, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned, err := s.WriteShardAs(day, 0, "worker/1!", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same bytes, distinct files: racing owners can never clobber each
+	// other, and identical content has identical checksums.
+	if owned.File == plain.File {
+		t.Fatalf("owner-tagged file collides with plain shard file: %s", owned.File)
+	}
+	if strings.ContainsAny(owned.File, "/!") {
+		t.Fatalf("unsafe owner characters leaked into filename: %s", owned.File)
+	}
+	if owned.CRC != plain.CRC || owned.Records != plain.Records {
+		t.Fatalf("same snapshot, different metadata: %+v vs %+v", owned, plain)
+	}
+	got, err := s.LoadShard(day, 0, owned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 || got.Records[0].Domain != "a.com" {
+		t.Fatalf("round-trip: %+v", got.Records)
+	}
+
+	// Clear removes owner-tagged shards too.
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadShard(day, 0, owned); err == nil {
+		t.Fatal("owner-tagged shard survived Clear")
+	}
+}
+
+func TestWriteShardAsEmptySnapshot(t *testing.T) {
+	s := openTestStore(t)
+	day := simtime.Day(7)
+	snap := &dataset.Snapshot{Day: day}
+	snap.Canonicalize()
+	meta, err := s.WriteShardAs(day, 3, "w1", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Records != 0 {
+		t.Fatalf("empty shard records: %d", meta.Records)
+	}
+	got, err := s.LoadShard(day, 3, meta)
+	if err != nil {
+		t.Fatalf("empty shard does not round-trip: %v", err)
+	}
+	if len(got.Records) != 0 || got.Day != day {
+		t.Fatalf("empty shard loaded as %+v", got)
+	}
+}

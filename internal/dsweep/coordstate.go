@@ -1,0 +1,135 @@
+package dsweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/scan"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// persistedUnit is one completed unit in the coordinator state file.
+type persistedUnit struct {
+	Unit   UnitID            `json:"unit"`
+	Worker string            `json:"worker"`
+	Meta   *checkpoint.Shard `json:"meta"`
+}
+
+// persistedLease is one outstanding lease in the coordinator state file.
+// Expiry is persisted as absolute wall-clock time: after a coordinator
+// restart the lease either still has budget or is immediately expired and
+// re-leased — both are safe, since completions settle by checksum.
+type persistedLease struct {
+	ID      string    `json:"id"`
+	Unit    UnitID    `json:"unit"`
+	Worker  string    `json:"worker"`
+	Expires time.Time `json:"expires"`
+}
+
+// coordState is the coordinator's durable state file layout.
+type coordState struct {
+	// Fingerprint and Shards guard against restoring state into a
+	// different sweep configuration.
+	Fingerprint string `json:"fingerprint"`
+	Shards      int    `json:"shards"`
+	// Seq continues the lease ID sequence across restarts so re-granted
+	// leases never reuse an ID a straggler may still report under.
+	Seq       int              `json:"seq"`
+	Stats     Stats            `json:"stats"`
+	Completed []persistedUnit  `json:"completed"`
+	Leases    []persistedLease `json:"leases"`
+
+	HealthByDay    map[simtime.Day]*scan.SweepHealth `json:"health_by_day,omitempty"`
+	HealthByWorker map[string]*scan.SweepHealth      `json:"health_by_worker,omitempty"`
+}
+
+// saveLocked atomically persists the coordinator's state. Called with c.mu
+// held, after every mutation — a coordinator killed between two calls
+// restarts at the previous consistent state, never a torn one.
+func (c *Coordinator) saveLocked() error {
+	st := coordState{
+		Fingerprint:    c.cfg.Plan.Fingerprint,
+		Shards:         c.cfg.Plan.Shards,
+		Seq:            c.seq,
+		Stats:          c.stats,
+		HealthByDay:    c.healthDay,
+		HealthByWorker: c.healthWkr,
+	}
+	for _, id := range c.order {
+		if u := c.units[id]; u.meta != nil {
+			st.Completed = append(st.Completed, persistedUnit{Unit: id, Worker: u.worker, Meta: u.meta})
+		}
+	}
+	for _, l := range c.leases {
+		st.Leases = append(st.Leases, persistedLease{ID: l.id, Unit: l.unit, Worker: l.worker, Expires: l.expires})
+	}
+	data, err := json.MarshalIndent(&st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dsweep: encoding coordinator state: %w", err)
+	}
+	return dataset.WriteFileAtomic(filepath.Join(c.cfg.Store.Dir(), coordStateFile), append(data, '\n'))
+}
+
+// restore loads persisted coordinator state, if any. Completed units are
+// adopted (counted in Stats.Recovered), outstanding leases resume with
+// their original absolute deadlines. State written under a different
+// fingerprint or shard count is refused: mixing two sweeps' lease tables
+// would fabricate data.
+func (c *Coordinator) restore() error {
+	data, err := os.ReadFile(filepath.Join(c.cfg.Store.Dir(), coordStateFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dsweep: reading coordinator state: %w", err)
+	}
+	var st coordState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("dsweep: corrupt coordinator state %s: %w", coordStateFile, err)
+	}
+	if st.Fingerprint != c.cfg.Plan.Fingerprint {
+		return fmt.Errorf("dsweep: coordinator state in %s belongs to a different sweep (fingerprint %q, this run %q)",
+			c.cfg.Store.Dir(), st.Fingerprint, c.cfg.Plan.Fingerprint)
+	}
+	if st.Shards != c.cfg.Plan.Shards {
+		return fmt.Errorf("dsweep: coordinator state has %d shards per day, this run wants %d", st.Shards, c.cfg.Plan.Shards)
+	}
+	c.seq = st.Seq
+	c.stats = st.Stats
+	c.stats.Units = c.cfg.Plan.Units()
+	c.stats.Recovered = 0 // recount: "restored at this startup", not cumulative
+	for _, pu := range st.Completed {
+		u := c.units[pu.Unit]
+		if u == nil {
+			return fmt.Errorf("dsweep: coordinator state completes unit %s, which is not in this plan", pu.Unit)
+		}
+		if pu.Meta == nil {
+			return fmt.Errorf("dsweep: coordinator state completes unit %s without shard metadata", pu.Unit)
+		}
+		u.meta, u.worker = pu.Meta, pu.Worker
+		c.stats.Recovered++
+	}
+	for _, pl := range st.Leases {
+		u := c.units[pl.Unit]
+		if u == nil || u.meta != nil || u.lease != nil {
+			continue // lease for a unit that is gone, done, or double-listed
+		}
+		l := &lease{id: pl.ID, unit: pl.Unit, worker: pl.Worker, expires: pl.Expires}
+		u.lease = l
+		c.leases[l.id] = l
+	}
+	if st.HealthByDay != nil {
+		c.healthDay = st.HealthByDay
+	}
+	if st.HealthByWorker != nil {
+		c.healthWkr = st.HealthByWorker
+	}
+	c.event("coordinator: restored state (%d/%d units complete, %d leases outstanding)",
+		c.doneCountLocked(), len(c.order), len(c.leases))
+	return nil
+}

@@ -1,0 +1,253 @@
+package dsweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/scan"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Name identifies the worker to the coordinator and tags its shard
+	// files; must be unique within one sweep.
+	Name string
+	// Coord is the control plane: a *Coordinator directly, or a *Client.
+	Coord Coordination
+	// Store is the shared checkpoint directory shards are flushed into.
+	Store *checkpoint.Store
+	// Setup builds this worker's scanner and target list for one day —
+	// each worker owns its whole exchange stack, so vantage-point fault
+	// profiles and transport state never leak between workers.
+	Setup scan.DaySetup
+	// Chaos, when set, injects scripted faults (tests only).
+	Chaos *Script
+	// OnEvent, when set, receives progress lines.
+	OnEvent func(format string, args ...any)
+}
+
+// Worker claims leases from a coordinator, scans its shard through its own
+// exchange stack, flushes the result as an owner-tagged checksum-trailered
+// shard archive, and reports completion. It keeps no durable state of its
+// own: everything it knows is either in the shared checkpoint directory or
+// re-derivable, which is what makes killing it at any instant safe.
+type Worker struct {
+	cfg    WorkerConfig
+	claims int
+
+	cachedDay   simtime.Day
+	cachedSetup *workerDay
+}
+
+// workerDay is one day's materialized scanning environment, cached because
+// the coordinator leases a day's shards consecutively.
+type workerDay struct {
+	scanner *scan.Scanner
+	parts   [][]scan.Target
+}
+
+// NewWorker validates the configuration and returns a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	switch {
+	case cfg.Name == "":
+		return nil, fmt.Errorf("dsweep: worker requires a name")
+	case cfg.Coord == nil:
+		return nil, fmt.Errorf("dsweep: worker requires a coordinator")
+	case cfg.Store == nil:
+		return nil, fmt.Errorf("dsweep: worker requires a checkpoint store")
+	case cfg.Setup == nil:
+		return nil, fmt.Errorf("dsweep: worker requires a day setup")
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// event emits a progress line if a sink is attached.
+func (w *Worker) event(format string, args ...any) {
+	if w.cfg.OnEvent != nil {
+		w.cfg.OnEvent(format, args...)
+	}
+}
+
+// Run claims and completes units until the plan is done, the context is
+// cancelled, or a fault (real or chaos-injected) kills the worker.
+func (w *Worker) Run(ctx context.Context) error {
+	plan, err := w.cfg.Coord.FetchPlan(ctx)
+	if err != nil {
+		return fmt.Errorf("dsweep: worker %s: fetching plan: %w", w.cfg.Name, err)
+	}
+	if err := plan.validate(); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := w.cfg.Coord.Lease(ctx, w.cfg.Name)
+		if err != nil {
+			return fmt.Errorf("dsweep: worker %s: lease: %w", w.cfg.Name, err)
+		}
+		switch grant.Status {
+		case GrantDone:
+			w.event("worker %s: plan complete, exiting", w.cfg.Name)
+			return nil
+		case GrantWait:
+			if err := sleepCtx(ctx, time.Duration(grant.RetryMillis)*time.Millisecond); err != nil {
+				return err
+			}
+		case GrantRun:
+			done, err := w.runUnit(ctx, plan, grant)
+			if err != nil {
+				return err
+			}
+			if done {
+				w.event("worker %s: plan complete, exiting", w.cfg.Name)
+				return nil
+			}
+		default:
+			return fmt.Errorf("dsweep: worker %s: unknown grant status %q", w.cfg.Name, grant.Status)
+		}
+	}
+}
+
+// runUnit scans one leased unit, flushes it, and reports completion,
+// honouring any chaos event scripted for this claim ordinal. It reports
+// whether this completion finished the whole plan — in that case the
+// coordinator may stop serving immediately, so the worker must not come
+// back for another lease.
+func (w *Worker) runUnit(ctx context.Context, plan *Plan, grant *Grant) (bool, error) {
+	w.claims++
+	ev := w.cfg.Chaos.next(w.claims)
+	unit := grant.Unit
+	ttl := time.Duration(grant.TTLMillis) * time.Millisecond
+
+	// A stalled worker is one whose heartbeats stop arriving — so the
+	// stall injection simply never starts the heartbeat loop.
+	stopHB := func() {}
+	if ev.Act != ActStall {
+		stopHB = w.startHeartbeat(ctx, grant.LeaseID, ttl)
+	}
+	defer stopHB()
+
+	day, err := w.day(ctx, plan, unit.Day)
+	if err != nil {
+		return false, err
+	}
+	// The plan's shard count is fixed, but ShardSplit clamps to the target
+	// count — indices past the split are legitimately empty units whose
+	// archive contributes zero records to the merge.
+	var part []scan.Target
+	if unit.Shard < len(day.parts) {
+		part = day.parts[unit.Shard]
+	}
+	snap, health, err := day.scanner.ScanDay(ctx, unit.Day, part)
+	if err != nil {
+		return false, fmt.Errorf("dsweep: worker %s: unit %s: %w", w.cfg.Name, unit, err)
+	}
+	snap.Canonicalize()
+
+	switch ev.Act {
+	case ActKillBeforeWrite:
+		w.event("worker %s: chaos kill before write on %s (claim %d)", w.cfg.Name, unit, w.claims)
+		return false, ErrChaosKilled
+	case ActStall:
+		w.event("worker %s: chaos stall %s on %s (claim %d)", w.cfg.Name, ev.Delay, unit, w.claims)
+		if err := sleepCtx(ctx, ev.Delay); err != nil {
+			return false, err
+		}
+	case ActSlowDisk:
+		w.event("worker %s: chaos slow disk %s on %s (claim %d)", w.cfg.Name, ev.Delay, unit, w.claims)
+		if err := sleepCtx(ctx, ev.Delay); err != nil {
+			return false, err
+		}
+	}
+
+	meta, err := w.cfg.Store.WriteShardAs(unit.Day, unit.Shard, w.cfg.Name, snap)
+	if err != nil {
+		return false, fmt.Errorf("dsweep: worker %s: flushing %s: %w", w.cfg.Name, unit, err)
+	}
+	if ev.Act == ActKillAfterWrite {
+		w.event("worker %s: chaos kill after write on %s (claim %d)", w.cfg.Name, unit, w.claims)
+		return false, ErrChaosKilled
+	}
+	stopHB()
+
+	reply, err := w.cfg.Coord.Complete(ctx, &CompleteRequest{
+		LeaseID:     grant.LeaseID,
+		Worker:      w.cfg.Name,
+		Unit:        unit,
+		Fingerprint: plan.Fingerprint,
+		Meta:        meta,
+		Health:      health,
+	})
+	if err != nil {
+		return false, fmt.Errorf("dsweep: worker %s: completing %s: %w", w.cfg.Name, unit, err)
+	}
+	w.event("worker %s: unit %s settled as %s (%d records)", w.cfg.Name, unit, reply.Status, meta.Records)
+	return reply.Done, nil
+}
+
+// day returns the worker's scanning environment for a day, building it via
+// Setup on first use. Only the most recent day is cached: the coordinator
+// grants in plan order, so day changes are monotone and rare.
+func (w *Worker) day(ctx context.Context, plan *Plan, d simtime.Day) (*workerDay, error) {
+	if w.cachedSetup != nil && w.cachedDay == d {
+		return w.cachedSetup, nil
+	}
+	scanner, targets, err := w.cfg.Setup(ctx, d)
+	if err != nil {
+		return nil, fmt.Errorf("dsweep: worker %s: setup for %s: %w", w.cfg.Name, d, err)
+	}
+	wd := &workerDay{scanner: scanner, parts: scan.ShardSplit(targets, plan.Shards)}
+	w.cachedDay, w.cachedSetup = d, wd
+	return wd, nil
+}
+
+// startHeartbeat extends the lease on a ttl/3 cadence until stopped. A
+// failing heartbeat (lease already expired, coordinator restarted) stops
+// the loop but not the unit: the late completion is still settled safely
+// by checksum on the coordinator side.
+func (w *Worker) startHeartbeat(ctx context.Context, leaseID string, ttl time.Duration) (stop func()) {
+	interval := ttl / 3
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := w.cfg.Coord.Heartbeat(ctx, leaseID); err != nil {
+					w.event("worker %s: heartbeat for %s: %v", w.cfg.Name, leaseID, err)
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// sleepCtx waits d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,51 @@
+package faultnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+func TestParseProfile(t *testing.T) {
+	rules, err := ParseProfile(`
+# vantage point behind a lossy path
+*.flaky.example  loss=0.2 latency=30ms
+ns1.dark.example timeout=1.0   # hard down
+*.maint.example  outage=2016-06-01..2016-06-03 servfail=0.5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("rules: %d", len(rules))
+	}
+	if r := rules[0]; r.Pattern != "*.flaky.example" || r.Loss != 0.2 || r.Latency != 30*time.Millisecond {
+		t.Fatalf("rule 0: %+v", r)
+	}
+	if r := rules[1]; r.Pattern != "ns1.dark.example" || r.Timeout != 1.0 {
+		t.Fatalf("rule 1: %+v", r)
+	}
+	from, _ := simtime.Parse("2016-06-01")
+	to, _ := simtime.Parse("2016-06-03")
+	if r := rules[2]; r.OutageFrom != from || r.OutageTo != to || r.ServFail != 0.5 {
+		t.Fatalf("rule 2: %+v", r)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"*.x loss=1.5", "probability"},
+		{"*.x latency=-3ms", "duration"},
+		{"*.x outage=2016-06-05..2016-06-01", "ends before"},
+		{"*.x outage=sometime", "FROM..TO"},
+		{"*.x bogus=1", "unknown fault key"},
+		{"*.x loss", "key=value"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseProfile(tc.in); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseProfile(%q): err %v, want %q", tc.in, err, tc.want)
+		}
+	}
+}

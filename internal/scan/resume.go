@@ -57,11 +57,11 @@ func (rs *ResumableSweep) shards() int {
 	return rs.Shards
 }
 
-// shardSplit partitions targets into n contiguous shards (the first
+// ShardSplit partitions targets into n contiguous shards (the first
 // len(targets)%n shards get one extra element). The split is a pure
-// function of the target list, so an interrupted run and its resume agree
-// on every shard boundary.
-func shardSplit(targets []Target, n int) [][]Target {
+// function of the target list, so an interrupted run, its resume, and
+// every worker of a distributed sweep agree on every shard boundary.
+func ShardSplit(targets []Target, n int) [][]Target {
 	if n > len(targets) && len(targets) > 0 {
 		n = len(targets)
 	}
@@ -93,6 +93,14 @@ func (rs *ResumableSweep) Run(ctx context.Context, days []simtime.Day) (*dataset
 	}
 	var st *checkpoint.State
 	if rs.Checkpoint != nil {
+		// The sweep is the sole mutator of the checkpoint state for its
+		// whole run: a second process resuming the same directory must fail
+		// here, not interleave Save calls with us.
+		release, err := rs.Checkpoint.AcquireLock("resumable-sweep", rs.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		loaded, err := rs.Checkpoint.Load()
 		if err != nil {
 			return nil, err
@@ -155,7 +163,7 @@ func (rs *ResumableSweep) runDay(ctx context.Context, day simtime.Day, st *check
 	if err != nil {
 		return nil, err
 	}
-	parts := shardSplit(targets, nShards)
+	parts := ShardSplit(targets, nShards)
 	daySnap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(targets))}
 	dayHealth := &SweepHealth{Day: day, Targets: 0, ByClass: make(map[FailClass]int)}
 

@@ -20,12 +20,14 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"securepki.org/registrarsec/internal/analysis"
 	"securepki.org/registrarsec/internal/checkpoint"
 	"securepki.org/registrarsec/internal/colstore"
 	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/dnssec"
+	"securepki.org/registrarsec/internal/dsweep"
 	"securepki.org/registrarsec/internal/ecosystem"
 	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/faultnet"
@@ -69,6 +71,11 @@ type (
 	Registrar = registrar.Registrar
 	// World is the generated domain population.
 	World = tldsim.World
+	// DistributedResult is a distributed sweep's outcome accounting:
+	// coordinator fault stats plus per-day and per-worker health.
+	DistributedResult = dsweep.Result
+	// SweepStats is the distributed coordinator's fault accounting.
+	SweepStats = dsweep.Stats
 )
 
 // Deployment classes.
@@ -308,8 +315,41 @@ type LongitudinalConfig struct {
 // resumes instead of restarting, and the final archive is byte-identical
 // to an uninterrupted run.
 func (s *Study) ScanLongitudinal(ctx context.Context, cfg LongitudinalConfig) (*Archive, error) {
+	mkSetup, err := s.longitudinalSetup(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	var cp *checkpoint.Store
+	if cfg.CheckpointDir != "" {
+		if cp, err = checkpoint.Open(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
+	rs := &scan.ResumableSweep{
+		Checkpoint:  cp,
+		Fingerprint: longitudinalFingerprint(&cfg),
+		Shards:      cfg.Shards,
+		Setup:       mkSetup(),
+		OnDayHealth: cfg.OnDayHealth,
+		OnEvent:     cfg.OnEvent,
+	}
+	return rs.Run(ctx, cfg.Days)
+}
+
+// longitudinalFingerprint binds checkpoint state to the sweep configuration.
+func longitudinalFingerprint(cfg *LongitudinalConfig) string {
+	return fmt.Sprintf("sample=%d seed=%d days=%v shards=%d faults=%d",
+		cfg.Sample, cfg.SampleSeed, cfg.Days, cfg.Shards, len(cfg.Rules))
+}
+
+// longitudinalSetup validates and defaults the configuration, draws the
+// sweep's fixed domain sample, and returns a factory of per-worker
+// DaySetups: each call yields an independent setup closure over the same
+// sample, so concurrent distributed workers never share a scanner or an
+// exchange stack.
+func (s *Study) longitudinalSetup(cfg *LongitudinalConfig) (func() scan.DaySetup, error) {
 	if s.World == nil {
-		return nil, fmt.Errorf("study: ScanLongitudinal requires a world (Options.SkipWorld unset)")
+		return nil, fmt.Errorf("study: a longitudinal sweep requires a world (Options.SkipWorld unset)")
 	}
 	if len(cfg.Days) == 0 {
 		return nil, fmt.Errorf("study: no measurement days")
@@ -321,49 +361,107 @@ func (s *Study) ScanLongitudinal(ctx context.Context, cfg LongitudinalConfig) (*
 		cfg.Shards = 4
 	}
 	sample := s.World.Sample(cfg.Sample, cfg.SampleSeed)
-	var cp *checkpoint.Store
-	if cfg.CheckpointDir != "" {
-		var err error
-		if cp, err = checkpoint.Open(cfg.CheckpointDir); err != nil {
-			return nil, err
+	rules := cfg.Rules
+	faultSeed := cfg.FaultSeed
+	workers := cfg.Workers
+	mk := func() scan.DaySetup {
+		return func(ctx context.Context, day Day) (*scan.Scanner, []scan.Target, error) {
+			mat, err := tldsim.Materialize(day, sample)
+			if err != nil {
+				return nil, nil, err
+			}
+			var mw []exchange.Middleware
+			if len(rules) > 0 {
+				inj := faultnet.New(nil, faultSeed, func() simtime.Day { return day }, rules...)
+				mw = append(mw, inj.Middleware())
+			}
+			scanner, err := scan.New(scan.Config{
+				Exchange:   mat.Net,
+				Middleware: mw,
+				TLDServers: mat.TLDServers,
+				Workers:    workers,
+				Clock:      func() simtime.Day { return day },
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			targets := make([]scan.Target, 0, len(sample))
+			for _, d := range sample {
+				targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
+			}
+			return scanner, targets, nil
 		}
 	}
-	setup := func(ctx context.Context, day Day) (*scan.Scanner, []scan.Target, error) {
-		mat, err := tldsim.Materialize(day, sample)
-		if err != nil {
-			return nil, nil, err
-		}
-		var mw []exchange.Middleware
-		if len(cfg.Rules) > 0 {
-			inj := faultnet.New(nil, cfg.FaultSeed, func() simtime.Day { return day }, cfg.Rules...)
-			mw = append(mw, inj.Middleware())
-		}
-		scanner, err := scan.New(scan.Config{
-			Exchange:   mat.Net,
-			Middleware: mw,
-			TLDServers: mat.TLDServers,
-			Workers:    cfg.Workers,
-			Clock:      func() simtime.Day { return day },
+	return mk, nil
+}
+
+// DistributedConfig configures ScanDistributed.
+type DistributedConfig struct {
+	// Longitudinal is the sweep definition: days, sample, sharding, faults.
+	// CheckpointDir is mandatory — it is the workers' shared shard store.
+	Longitudinal LongitudinalConfig
+	// Fleet is the number of concurrent sweep workers (default 2). Each
+	// worker owns a full exchange stack and claims (day, shard) leases
+	// from the in-process coordinator.
+	Fleet int
+	// LeaseTTL is the coordinator's lease deadline budget (default 30s).
+	LeaseTTL time.Duration
+}
+
+// ScanDistributed runs the longitudinal sweep through the crash-tolerant
+// coordinator/worker topology of internal/dsweep: Fleet workers lease
+// (day, shard) units, flush checksummed shard archives into the shared
+// checkpoint directory, and the coordinator's CRC-verified merge yields an
+// archive byte-identical to ScanLongitudinal of the same configuration. A
+// previous partial run in the same checkpoint directory is adopted, not
+// redone. The checkpoint directory is left for the caller to clear once
+// the archive is durable.
+func (s *Study) ScanDistributed(ctx context.Context, cfg DistributedConfig) (*Archive, *DistributedResult, error) {
+	lc := cfg.Longitudinal
+	mkSetup, err := s.longitudinalSetup(&lc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lc.CheckpointDir == "" {
+		return nil, nil, fmt.Errorf("study: a distributed sweep requires a checkpoint directory (the workers' shared shard store)")
+	}
+	if cfg.Fleet <= 0 {
+		cfg.Fleet = 2
+	}
+	cp, err := checkpoint.Open(lc.CheckpointDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := dsweep.Plan{
+		Fingerprint: "dsweep " + longitudinalFingerprint(&lc),
+		Days:        lc.Days,
+		Shards:      lc.Shards,
+	}
+	workers := make([]dsweep.WorkerSpec, 0, cfg.Fleet)
+	for i := 0; i < cfg.Fleet; i++ {
+		workers = append(workers, dsweep.WorkerSpec{
+			Name:  fmt.Sprintf("w%02d", i+1),
+			Setup: mkSetup(),
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		targets := make([]scan.Target, 0, len(sample))
-		for _, d := range sample {
-			targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
-		}
-		return scanner, targets, nil
 	}
-	rs := &scan.ResumableSweep{
-		Checkpoint: cp,
-		Fingerprint: fmt.Sprintf("sample=%d seed=%d days=%v shards=%d faults=%d",
-			cfg.Sample, cfg.SampleSeed, cfg.Days, cfg.Shards, len(cfg.Rules)),
-		Shards:      cfg.Shards,
-		Setup:       setup,
-		OnDayHealth: cfg.OnDayHealth,
-		OnEvent:     cfg.OnEvent,
+	store, res, err := dsweep.RunLocal(ctx, dsweep.LocalConfig{
+		Plan:     plan,
+		Store:    cp,
+		LeaseTTL: cfg.LeaseTTL,
+		Workers:  workers,
+		OnEvent:  lc.OnEvent,
+	})
+	if err != nil {
+		return nil, res, err
 	}
-	return rs.Run(ctx, cfg.Days)
+	if lc.OnDayHealth != nil {
+		for _, day := range lc.Days {
+			if h := res.HealthByDay[day]; h != nil {
+				lc.OnDayHealth(day, h)
+			}
+		}
+	}
+	return store, res, nil
 }
 
 // RenderTable2 formats Table 2 observations with per-registrar domain

@@ -170,6 +170,44 @@ func TestStudyScanLongitudinal(t *testing.T) {
 	}
 }
 
+// TestStudyScanDistributed runs the coordinator/worker topology through
+// the public facade: the merged archive must be byte-identical to the
+// single-process resumable sweep of the same configuration.
+func TestStudyScanDistributed(t *testing.T) {
+	s := testStudy(t)
+	days := []Day{simtime.Date(2016, 6, 1), simtime.End}
+	base := LongitudinalConfig{Days: days, Sample: 40, Workers: 4, Shards: 2}
+
+	single, err := s.ScanLongitudinal(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := single.WriteArchive(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DistributedConfig{Longitudinal: base, Fleet: 3}
+	cfg.Longitudinal.CheckpointDir = t.TempDir()
+	store, res, err := s.ScanDistributed(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	if err := store.WriteArchive(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Error("distributed archive differs from single-process sweep")
+	}
+	if res.Stats.Done != len(days)*base.Shards {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+	if len(res.HealthByWorker) == 0 {
+		t.Fatal("no per-worker health attribution")
+	}
+}
+
 func TestStudyOptions(t *testing.T) {
 	s, err := NewStudy(Options{SkipWorld: true, SkipAgents: true})
 	if err != nil {
