@@ -11,6 +11,7 @@
 //	regsec-bench [-scale 1000] [-seed 1] [-o BENCH_colstore.json] [-compare old.json]
 //	             [-exchange-o BENCH_exchange.json] [-exchange-sample 400] [-exchange-passes 3]
 //	             [-dsweep-o BENCH_dsweep.json] [-dsweep-scale 4000] [-dsweep-sample 150] [-dsweep-shards 4]
+//	             [-worldscale-o BENCH_worldscale.json] [-worldscale-divisors 4000,400,40]
 //
 // Each analytics workload is benchmarked in its colstore and legacy
 // variants via testing.Benchmark; the emitted file carries ns/op,
@@ -29,6 +30,14 @@
 // re-lease counts in BENCH_dsweep.json, then kills a worker mid-shard and
 // gates on the recovered archive staying byte-identical (exit 1 on any
 // divergence).
+//
+// The worldscale section (enabled with -worldscale-o) measures the
+// streaming sharded world build at each -worldscale-divisors population,
+// saves the world to disk, re-loads it, and drives the full 21-month
+// snapshot+series+Table 1 workload from the re-loaded world. Where the
+// population is small enough it also runs the legacy materialized build
+// and gates on the streaming build allocating strictly less (exit 1
+// otherwise).
 package main
 
 import (
@@ -72,10 +81,15 @@ func run() int {
 	dsweepScale := flag.Float64("dsweep-scale", 4000, "population divisor for the distributed-sweep benchmark world")
 	dsweepSample := flag.Int("dsweep-sample", 150, "domains per day in the distributed-sweep benchmark")
 	dsweepShards := flag.Int("dsweep-shards", 4, "shards per day in the distributed-sweep benchmark")
+	worldscaleOut := flag.String("worldscale-o", "", "world-scale streaming-build baseline output path (empty disables)")
+	worldscaleDivisors := flag.String("worldscale-divisors", "4000,400,40", "comma-separated population divisors for the world-scale section")
 	flag.Parse()
 
+	// The legacy materialized build: its []DomainState is what the
+	// */legacy workloads below iterate, so the speedup numbers compare the
+	// columnar engine against the true record-at-a-time path.
 	fmt.Fprintf(os.Stderr, "building world (scale 1/%.0f, seed %d)...\n", *scaleDiv, *seed)
-	world, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / *scaleDiv, Seed: *seed})
+	world, err := tldsim.BuildLegacy(tldsim.WorldConfig{Scale: 1 / *scaleDiv, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -238,6 +252,20 @@ func run() int {
 			Sample:       *dsweepSample,
 			Shards:       *dsweepShards,
 			OutPath:      *dsweepOut,
+		}); code != 0 {
+			return code
+		}
+	}
+	if *worldscaleOut != "" {
+		divisors, err := parseDivisors(*worldscaleDivisors)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if code := runWorldscaleBench(worldscaleBenchConfig{
+			Seed:     *seed,
+			Divisors: divisors,
+			OutPath:  *worldscaleOut,
 		}); code != 0 {
 			return code
 		}

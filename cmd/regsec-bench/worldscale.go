@@ -1,0 +1,239 @@
+package main
+
+// The world-scale section: how the streaming columnar pipeline behaves as
+// the population approaches real-.com size. For each divisor it measures
+// the parallel streaming build (wall-clock, allocation footprint, live
+// heap), saves the world to disk, re-loads it, and drives the full
+// 21-month snapshot + series + Table 1 workload from the re-loaded world
+// — the build-once/load-many lifecycle the world cache uses. Where the
+// population is small enough it also runs the legacy materialized build
+// and gates on the streaming build allocating strictly less.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/tldsim"
+)
+
+type worldscaleBenchConfig struct {
+	Seed     int64
+	Divisors []float64
+	OutPath  string
+}
+
+// worldscaleEntry is one divisor's measurements. Legacy fields are zero
+// when the population was too large to materialize record-at-a-time.
+type worldscaleEntry struct {
+	ScaleDivisor float64 `json:"scale_divisor"`
+	Domains      int     `json:"domains"`
+	Operators    int     `json:"operators"`
+	Workers      int     `json:"workers"`
+
+	BuildMs             float64 `json:"build_ms"`
+	BuildAllocBytes     uint64  `json:"build_alloc_bytes"`
+	LiveBytesAfterBuild uint64  `json:"live_bytes_after_build"`
+
+	SaveMs    float64 `json:"save_ms"`
+	FileBytes int64   `json:"file_bytes"`
+	LoadMs    float64 `json:"load_ms"`
+
+	SnapshotMs float64 `json:"snapshot_ms"`
+	SeriesMs   float64 `json:"series_ms"`
+	Table1Ms   float64 `json:"table1_ms"`
+
+	LegacyBuildMs    float64 `json:"legacy_build_ms,omitempty"`
+	LegacyAllocBytes uint64  `json:"legacy_alloc_bytes,omitempty"`
+	// AllocReduction is legacy/streaming build allocation bytes.
+	AllocReduction float64 `json:"alloc_reduction,omitempty"`
+}
+
+type worldscaleBaseline struct {
+	Schema     string            `json:"schema"`
+	Seed       int64             `json:"seed"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Entries    []worldscaleEntry `json:"entries"`
+}
+
+const worldscaleBaselineSchema = "regsec-bench-worldscale/1"
+
+// legacyMaxDomains bounds the populations the legacy comparison runs at:
+// materializing millions of DomainStates is exactly the failure mode the
+// streaming build removes, so the oracle only runs where it fits easily.
+const legacyMaxDomains = 1_000_000
+
+func parseDivisors(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad divisor %q in -worldscale-divisors", part)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func allocDelta(before, after *runtime.MemStats) uint64 {
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+func runWorldscaleBench(cfg worldscaleBenchConfig) int {
+	tmpDir, err := os.MkdirTemp("", "regsec-worldscale-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer os.RemoveAll(tmpDir)
+
+	baseline := &worldscaleBaseline{
+		Schema:     worldscaleBaselineSchema,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	ok := true
+	for _, div := range cfg.Divisors {
+		wcfg := tldsim.WorldConfig{Scale: 1 / div, Seed: cfg.Seed}
+		entry := worldscaleEntry{ScaleDivisor: div, Workers: runtime.GOMAXPROCS(0)}
+
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		world, err := tldsim.Build(wcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		entry.BuildMs = ms(start)
+		runtime.ReadMemStats(&m1)
+		entry.BuildAllocBytes = allocDelta(&m0, &m1)
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		entry.LiveBytesAfterBuild = m1.HeapAlloc
+		entry.Domains = world.Len()
+		entry.Operators = world.Index().Operators()
+		fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: built %d domains in %.0f ms (%.0f MB allocated, %.0f MB live)\n",
+			div, entry.Domains, entry.BuildMs,
+			float64(entry.BuildAllocBytes)/1e6, float64(entry.LiveBytesAfterBuild)/1e6)
+
+		path := filepath.Join(tmpDir, fmt.Sprintf("world-%.0f.rscw", div))
+		start = time.Now()
+		if err := world.Save(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		entry.SaveMs = ms(start)
+		if st, err := os.Stat(path); err == nil {
+			entry.FileBytes = st.Size()
+		}
+
+		// Drop the built world: everything below runs from the re-loaded
+		// one, proving the save/load cycle round-trips the full workload.
+		world = nil
+		runtime.GC()
+		start = time.Now()
+		loaded, _, err := tldsim.LoadWorld(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		entry.LoadMs = ms(start)
+
+		start = time.Now()
+		snap := loaded.SnapshotAt(simtime.End)
+		entry.SnapshotMs = ms(start)
+		if len(snap.Records) != entry.Domains {
+			fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: reloaded snapshot has %d records, want %d\n",
+				div, len(snap.Records), entry.Domains)
+			return 1
+		}
+		snap = nil
+
+		start = time.Now()
+		series := loaded.SeriesFor("ovh.net", "", simtime.GTLDStart, simtime.End, 1)
+		entry.SeriesMs = ms(start)
+		if len(series) == 0 {
+			fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: empty series from reloaded world\n", div)
+			return 1
+		}
+
+		start = time.Now()
+		overview := loaded.Index().Overview(simtime.End, tldsim.AllTLDs)
+		entry.Table1Ms = ms(start)
+		if len(overview) != len(tldsim.AllTLDs) {
+			fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: overview covered %d TLDs, want %d\n",
+				div, len(overview), len(tldsim.AllTLDs))
+			return 1
+		}
+		loaded.Close()
+		fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: save %.0f ms (%.0f MB), load %.0f ms, snapshot %.0f ms, series %.0f ms, table1 %.0f ms\n",
+			div, entry.SaveMs, float64(entry.FileBytes)/1e6, entry.LoadMs,
+			entry.SnapshotMs, entry.SeriesMs, entry.Table1Ms)
+
+		if entry.Domains <= legacyMaxDomains {
+			// The legacy lifecycle the streaming pipeline replaces:
+			// materialize []DomainState, then copy it all again into the
+			// analytics index.
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			start = time.Now()
+			lw, err := tldsim.BuildLegacy(wcfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			lw.Index()
+			entry.LegacyBuildMs = ms(start)
+			runtime.ReadMemStats(&m1)
+			entry.LegacyAllocBytes = allocDelta(&m0, &m1)
+			if lw.Len() != entry.Domains {
+				fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: legacy build has %d domains, streaming %d\n",
+					div, lw.Len(), entry.Domains)
+				return 1
+			}
+			if entry.BuildAllocBytes > 0 {
+				entry.AllocReduction = float64(entry.LegacyAllocBytes) / float64(entry.BuildAllocBytes)
+			}
+			fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: legacy build %.0f ms, %.0f MB allocated (streaming allocates %.2fx less)\n",
+				div, entry.LegacyBuildMs, float64(entry.LegacyAllocBytes)/1e6, entry.AllocReduction)
+			// The gate: the streaming build must allocate strictly less
+			// than the legacy materialized build at the same divisor.
+			if entry.BuildAllocBytes >= entry.LegacyAllocBytes {
+				fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: streaming build allocated %d bytes, not below legacy's %d\n",
+					div, entry.BuildAllocBytes, entry.LegacyAllocBytes)
+				ok = false
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "worldscale 1/%.0f: skipping legacy comparison (%d domains > %d)\n",
+				div, entry.Domains, legacyMaxDomains)
+		}
+		baseline.Entries = append(baseline.Entries, entry)
+	}
+
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(cfg.OutPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", cfg.OutPath)
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func ms(since time.Time) float64 {
+	return float64(time.Since(since).Nanoseconds()) / 1e6
+}

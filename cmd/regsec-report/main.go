@@ -32,6 +32,7 @@ func run() int {
 	artifact := flag.String("artifact", "all", "which artifact to produce")
 	step := flag.Int("step", 7, "series step in days")
 	archive := flag.String("archive", "", "analyze a regsec-scan TSV archive instead of the generative model")
+	worldCache := flag.String("world-cache", "", "directory caching built worlds keyed by (seed, scale, config): build once, load many")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -53,6 +54,7 @@ func run() int {
 
 	study, err := registrarsec.NewStudy(registrarsec.Options{
 		Scale: 1 / *scaleDiv, Seed: *seed, SkipAgents: true,
+		WorldCacheDir: *worldCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

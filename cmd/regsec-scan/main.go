@@ -7,7 +7,7 @@
 //
 //	regsec-scan [-scale 2000] [-seed 1] [-days 2016-06-01,2016-12-31] [-sample 1000] [-workers 16] [-o archive.tsv]
 //	            [-retries 3] [-resweeps 2] [-fault-frac 0.5] [-fault-loss 0.2] [-fault-seed 1]
-//	            [-cache] [-dedup]
+//	            [-cache] [-dedup] [-world-cache worlds/]
 //	            [-checkpoint-dir state/] [-resume] [-shards 4]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -79,6 +79,7 @@ func run() int {
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
 	useCache := flag.Bool("cache", false, "enable the TTL-respecting response cache in the exchange stack")
 	useDedup := flag.Bool("dedup", false, "coalesce concurrent identical queries in the exchange stack")
+	worldCache := flag.String("world-cache", "", "directory caching built worlds keyed by (seed, scale, config): build once, load many")
 	cpDir := flag.String("checkpoint-dir", "", "directory for durable sweep checkpoints (enables crash-safe resume)")
 	resume := flag.Bool("resume", false, "continue from an existing checkpoint in -checkpoint-dir")
 	shards := flag.Int("shards", 4, "checkpoint units per day (granularity of resume)")
@@ -135,8 +136,16 @@ func run() int {
 		}
 	}
 
-	fmt.Fprintf(os.Stderr, "building world (scale 1/%.0f, seed %d)...\n", *scaleDiv, *seed)
-	world, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / *scaleDiv, Seed: *seed})
+	worldCfg := tldsim.WorldConfig{Scale: 1 / *scaleDiv, Seed: *seed}
+	var world *tldsim.World
+	if *worldCache != "" {
+		fmt.Fprintf(os.Stderr, "world cache %s (scale 1/%.0f, seed %d, key %s)...\n",
+			*worldCache, *scaleDiv, *seed, worldCfg.Fingerprint())
+		world, err = tldsim.BuildCached(*worldCache, worldCfg)
+	} else {
+		fmt.Fprintf(os.Stderr, "building world (scale 1/%.0f, seed %d)...\n", *scaleDiv, *seed)
+		world, err = tldsim.Build(worldCfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -267,7 +276,7 @@ func run() int {
 var planFlags = []string{
 	"scale", "seed", "days", "sample", "shards", "workers", "o", "retries",
 	"resweeps", "cache", "dedup", "fault-frac", "fault-loss", "fault-seed",
-	"resume",
+	"resume", "world-cache",
 }
 
 // workerOnlyFlags only have meaning when joining a coordinator.

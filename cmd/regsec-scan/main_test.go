@@ -31,6 +31,7 @@ func TestValidateFlags(t *testing.T) {
 		{"worker with plan flags", setOf("worker", "checkpoint-dir", "days", "sample"), "set them on regsec-sweepd"},
 		{"worker with output", setOf("worker", "checkpoint-dir", "o"), "-o"},
 		{"worker with resume", setOf("worker", "checkpoint-dir", "resume"), "-resume"},
+		{"worker with world cache", setOf("worker", "checkpoint-dir", "world-cache"), "-world-cache"},
 		{"name without worker", setOf("name"), "only applies to -worker"},
 		{"fault-profile without worker", setOf("fault-profile", "checkpoint-dir"), "only applies to -worker"},
 		{"vantage-seed without worker", setOf("vantage-seed"), "only applies to -worker"},
@@ -58,7 +59,7 @@ func TestValidateFlagNamesExist(t *testing.T) {
 		"retries", "resweeps", "fault-frac", "fault-loss", "fault-seed",
 		"cache", "dedup", "checkpoint-dir", "resume", "shards",
 		"cpuprofile", "memprofile", "worker", "name", "fault-profile",
-		"vantage-seed")
+		"vantage-seed", "world-cache")
 	for _, f := range planFlags {
 		if !known[f] {
 			t.Errorf("planFlags references unknown flag %q", f)

@@ -46,9 +46,9 @@ type Domain struct {
 	Name, TLD, Operator, Registrar string
 	// NSHost is the operator's concrete nameserver hostname; every domain
 	// of an operator shares one interned []string{NSHost} slice.
-	NSHost               string
-	KeyDay, DSDay        simtime.Day
-	BrokenDS, ExpiredSig bool
+	NSHost                 string
+	Created, KeyDay, DSDay simtime.Day
+	BrokenDS, ExpiredSig   bool
 }
 
 const (
@@ -72,6 +72,7 @@ func NewBuilder(n int) *Builder {
 			opID:    make([]uint32, 0, n),
 			tldID:   make([]uint16, 0, n),
 			regID:   make([]uint32, 0, n),
+			created: make([]int32, 0, n),
 			keyDay:  make([]int32, 0, n),
 			dsDay:   make([]int32, 0, n),
 			fullDay: make([]int32, 0, n),
@@ -135,29 +136,30 @@ func (b *Builder) Add(d Domain) {
 	x.opID = append(x.opID, op)
 	x.tldID = append(x.tldID, tld)
 	x.regID = append(x.regID, reg)
+	x.created = append(x.created, clampDay(d.Created))
 	x.keyDay = append(x.keyDay, int32(d.KeyDay))
 	x.dsDay = append(x.dsDay, int32(d.DSDay))
 	x.fullDay = append(x.fullDay, full)
 	x.flags = append(x.flags, fl)
 }
 
-// Build freezes the columns: the record template is prebuilt, the
-// per-(operator, TLD) event groups are bucketed and day-sorted, and the
-// builder must not be reused.
+// Build freezes the columns: the per-(operator, TLD) event groups are
+// bucketed and day-sorted, and the builder must not be reused. The record
+// template is built lazily on the first snapshot.
 func (b *Builder) Build() *Index {
 	x := b.idx
 	b.idx = nil
-	x.n = len(x.names)
+	x.finish()
+	return x
+}
 
-	x.template = make([]dataset.Record, x.n)
-	for i := range x.template {
-		x.template[i] = dataset.Record{
-			Domain:   x.names[i],
-			TLD:      x.tlds[x.tldID[i]],
-			NSHosts:  x.opNS[x.opID[i]],
-			Operator: x.ops[x.opID[i]],
-		}
-	}
+// finish derives everything a frozen column set needs to serve queries:
+// population size, the day-sorted event groups, and the scratch-counter
+// pool. It is shared by the sequential Builder, the parallel shard merge,
+// and the on-disk loader, so every construction path yields an identical
+// engine.
+func (x *Index) finish() {
+	x.n = len(x.names)
 
 	// Bucket domains into (operator, TLD) event groups. Group identity is
 	// opID<<16|tldID; the per-operator group lists let a tld=="" query
@@ -198,7 +200,23 @@ func (b *Builder) Build() *Index {
 		s := make([]int32, len(x.ops))
 		return &s
 	}
-	return x
+}
+
+// ensureTemplate builds the day-independent record fields on first use.
+// Lazy construction keeps loaded-from-disk and merge-built indexes cheap
+// until someone actually materializes a snapshot.
+func (x *Index) ensureTemplate() {
+	x.tmplOnce.Do(func() {
+		x.template = make([]dataset.Record, x.n)
+		for i := range x.template {
+			x.template[i] = dataset.Record{
+				Domain:   x.names[i],
+				TLD:      x.tlds[x.tldID[i]],
+				NSHosts:  x.opNS[x.opID[i]],
+				Operator: x.ops[x.opID[i]],
+			}
+		}
+	})
 }
 
 func sortInt32(s []int32) {
@@ -229,6 +247,7 @@ type Index struct {
 	opID    []uint32
 	tldID   []uint16
 	regID   []uint32
+	created []int32
 	keyDay  []int32
 	dsDay   []int32
 	fullDay []int32
@@ -242,8 +261,12 @@ type Index struct {
 	opIDs  map[string]uint32
 	tldIDs map[string]uint16
 
-	// Prebuilt day-independent record fields for Snapshot.
+	// Lazily built day-independent record fields for Snapshot.
+	tmplOnce sync.Once
 	template []dataset.Record
+
+	// mapped is the mmap'd file backing a zero-copy Load; Close unmaps it.
+	mapped []byte
 
 	// Materialized-view cache: the most recently projected days, shared
 	// across callers. Projecting a day costs a full population pass and
@@ -267,6 +290,42 @@ func (x *Index) Len() int { return x.n }
 
 // Operators returns the number of distinct operators.
 func (x *Index) Operators() int { return len(x.ops) }
+
+// Row projects domain i back into its ingest form — the inverse of
+// Builder.Add. Day sentinels round-trip (never → simtime.Never); fullDay
+// is derived state and needs no inverse.
+func (x *Index) Row(i int) Domain {
+	toDay := func(v int32) simtime.Day {
+		if v == never {
+			return simtime.Never
+		}
+		return simtime.Day(v)
+	}
+	return Domain{
+		Name:       x.names[i],
+		TLD:        x.tlds[x.tldID[i]],
+		Operator:   x.ops[x.opID[i]],
+		Registrar:  x.regs[x.regID[i]],
+		NSHost:     x.opNS[x.opID[i]][0],
+		Created:    toDay(x.created[i]),
+		KeyDay:     toDay(x.keyDay[i]),
+		DSDay:      toDay(x.dsDay[i]),
+		BrokenDS:   x.flags[i]&flagBroken != 0,
+		ExpiredSig: x.flags[i]&flagExpired != 0,
+	}
+}
+
+// Close releases the memory mapping of a zero-copy loaded index. After
+// Close every string and column view into the mapping is invalid; it is a
+// no-op for indexes built in memory.
+func (x *Index) Close() error {
+	if x.mapped == nil {
+		return nil
+	}
+	m := x.mapped
+	x.mapped = nil
+	return munmap(m)
+}
 
 // snapCacheSize bounds the materialized-view cache (MRU first).
 const snapCacheSize = 2
@@ -300,6 +359,7 @@ func (x *Index) Snapshot(day simtime.Day) *dataset.Snapshot {
 // Materialize projects the population at one day into a freshly allocated
 // snapshot the caller owns, bypassing the shared-view cache.
 func (x *Index) Materialize(day simtime.Day) *dataset.Snapshot {
+	x.ensureTemplate()
 	recs := make([]dataset.Record, x.n)
 	d := clampDay(day)
 	for i := range recs {

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package colstore
+
+import "os"
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, os.ErrInvalid
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. An empty file maps to an
+// empty (nil-backed) slice so callers need no special case.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmap(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

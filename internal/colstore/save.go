@@ -1,0 +1,272 @@
+package colstore
+
+// The on-disk world format: a compact, versioned, little-endian column
+// layout mirroring the in-memory Index, so a generated world is built
+// once, saved, and re-loaded in O(seconds) — memory-mapped where the
+// platform allows, so a population larger than RAM degrades to page-cache
+// misses instead of OOMing.
+//
+// Layout:
+//
+//	header   = magic "regsecW1" | u32 version | u32 endian-marker
+//	section  = tag[8] | u64 payloadLen | payload | pad to 8 | u32 CRC32C | u32 0
+//
+// Every payload starts 8-byte aligned (header and section framing are
+// multiples of 8), which is what makes the zero-copy int32/uint32 views
+// legal. Each section carries its own length + CRC32C (Castagnoli)
+// trailer, the same integrity idiom as the TSV archive format: a
+// truncated or bit-flipped file fails loudly at load, never silently.
+//
+// String tables are stored as one concatenated blob plus an offsets
+// column (u32 for the small intern tables, u64 for domain names, whose
+// blob exceeds 4 GiB at real-.com scale). The derived state — fullDay,
+// event groups, the record template — is rebuilt or lazily built at load
+// and never serialized.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const (
+	worldMagic   = "regsecW1"
+	worldVersion = 1
+	// endianMarker reads back as itself only through a little-endian
+	// decode; a byte-swapped file (or a confused writer) is caught at the
+	// header.
+	endianMarker = 0x01020304
+)
+
+// Section tags, fixed order. Load rejects unknown tags, so a future
+// version adding sections bumps worldVersion.
+const (
+	secMeta     = "META\x00\x00\x00\x00"
+	secOps      = "OPS\x00\x00\x00\x00\x00"
+	secOpsOff   = "OPSOFF\x00\x00"
+	secOpNS     = "OPNS\x00\x00\x00\x00"
+	secOpNSOff  = "OPNSOFF\x00"
+	secTLDs     = "TLDS\x00\x00\x00\x00"
+	secTLDsOff  = "TLDSOFF\x00"
+	secRegs     = "REGS\x00\x00\x00\x00"
+	secRegsOff  = "REGSOFF\x00"
+	secNames    = "NAMES\x00\x00\x00"
+	secNamesOff = "NAMESOFF"
+	secOpID     = "OPID\x00\x00\x00\x00"
+	secTLDID    = "TLDID\x00\x00\x00"
+	secRegID    = "REGID\x00\x00\x00"
+	secCreated  = "CREATED\x00"
+	secKeyDay   = "KEYDAY\x00\x00"
+	secDSDay    = "DSDAY\x00\x00\x00"
+	secFlags    = "FLAGS\x00\x00\x00"
+)
+
+// sectionOrder is the exact on-disk sequence, making Save deterministic:
+// the same Index always serializes to the same bytes.
+var sectionOrder = []string{
+	secMeta,
+	secOps, secOpsOff, secOpNS, secOpNSOff,
+	secTLDs, secTLDsOff, secRegs, secRegsOff,
+	secNames, secNamesOff,
+	secOpID, secTLDID, secRegID,
+	secCreated, secKeyDay, secDSDay, secFlags,
+}
+
+var worldCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Save serializes the index. meta is an arbitrary key=value annotation
+// block (world configuration, fingerprints) returned verbatim by Load;
+// keys must not contain '=' or newlines, values must not contain
+// newlines.
+func (x *Index) Save(w io.Writer, meta map[string]string) error {
+	metaPayload, err := encodeMeta(meta)
+	if err != nil {
+		return err
+	}
+	var hdr [16]byte
+	copy(hdr[:8], worldMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], worldVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], endianMarker)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	opsBlob, opsOff := packStrings32(x.ops)
+	nsHosts := make([]string, len(x.opNS))
+	for i, hosts := range x.opNS {
+		nsHosts[i] = hosts[0]
+	}
+	nsBlob, nsOff := packStrings32(nsHosts)
+	tldBlob, tldOff := packStrings32(x.tlds)
+	regBlob, regOff := packStrings32(x.regs)
+	nameBlob, nameOff := packStrings64(x.names)
+
+	payloads := map[string][]byte{
+		secMeta:     metaPayload,
+		secOps:      opsBlob,
+		secOpsOff:   opsOff,
+		secOpNS:     nsBlob,
+		secOpNSOff:  nsOff,
+		secTLDs:     tldBlob,
+		secTLDsOff:  tldOff,
+		secRegs:     regBlob,
+		secRegsOff:  regOff,
+		secNames:    nameBlob,
+		secNamesOff: nameOff,
+		secOpID:     packUint32(x.opID),
+		secTLDID:    packUint16(x.tldID),
+		secRegID:    packUint32(x.regID),
+		secCreated:  packInt32(x.created),
+		secKeyDay:   packInt32(x.keyDay),
+		secDSDay:    packInt32(x.dsDay),
+		secFlags:    x.flags,
+	}
+	for _, tag := range sectionOrder {
+		if err := writeSection(w, tag, payloads[tag]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the index to path atomically (temp file + fsync +
+// rename + directory fsync): a crash mid-save leaves either the old file
+// or none, never a torn one.
+func (x *Index) SaveFile(path string, meta map[string]string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".world-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := x.Save(bw, meta); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// writeSection frames one payload: tag, length, payload, alignment
+// padding, CRC32C trailer.
+func writeSection(w io.Writer, tag string, payload []byte) error {
+	if len(tag) != 8 {
+		return fmt.Errorf("colstore: section tag %q is not 8 bytes", tag)
+	}
+	var hdr [16]byte
+	copy(hdr[:8], tag)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var trailer [16]byte // up to 7 pad bytes + 8-byte CRC trailer
+	pad := (8 - len(payload)%8) % 8
+	binary.LittleEndian.PutUint32(trailer[pad:], crc32.Checksum(payload, worldCRC))
+	_, err := w.Write(trailer[:pad+8])
+	return err
+}
+
+// encodeMeta renders the annotation block as sorted k=v lines.
+func encodeMeta(meta map[string]string) ([]byte, error) {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		if strings.ContainsAny(k, "=\n") || k == "" {
+			return nil, fmt.Errorf("colstore: invalid meta key %q", k)
+		}
+		if strings.Contains(meta[k], "\n") {
+			return nil, fmt.Errorf("colstore: meta value for %q contains a newline", k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%s=%s\n", k, meta[k])
+	}
+	return buf.Bytes(), nil
+}
+
+// packStrings32 concatenates strings into a blob with n+1 uint32 offsets.
+func packStrings32(list []string) (blob, offsets []byte) {
+	size := 0
+	for _, s := range list {
+		size += len(s)
+	}
+	blob = make([]byte, 0, size)
+	offsets = make([]byte, 4*(len(list)+1))
+	for i, s := range list {
+		binary.LittleEndian.PutUint32(offsets[4*i:], uint32(len(blob)))
+		blob = append(blob, s...)
+	}
+	binary.LittleEndian.PutUint32(offsets[4*len(list):], uint32(len(blob)))
+	return blob, offsets
+}
+
+// packStrings64 is packStrings32 with uint64 offsets, for the name table
+// whose blob can exceed 4 GiB at full scale.
+func packStrings64(list []string) (blob, offsets []byte) {
+	size := 0
+	for _, s := range list {
+		size += len(s)
+	}
+	blob = make([]byte, 0, size)
+	offsets = make([]byte, 8*(len(list)+1))
+	for i, s := range list {
+		binary.LittleEndian.PutUint64(offsets[8*i:], uint64(len(blob)))
+		blob = append(blob, s...)
+	}
+	binary.LittleEndian.PutUint64(offsets[8*len(list):], uint64(len(blob)))
+	return blob, offsets
+}
+
+func packUint32(v []uint32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], x)
+	}
+	return out
+}
+
+func packUint16(v []uint16) []byte {
+	out := make([]byte, 2*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint16(out[2*i:], x)
+	}
+	return out
+}
+
+func packInt32(v []int32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}

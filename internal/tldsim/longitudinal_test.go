@@ -33,6 +33,7 @@ func TestLongitudinalScanMatchesModelSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	domains := w.AllDomains()
 	days := []simtime.Day{
 		simtime.GTLDStart + 30,
 		simtime.CloudflareUniversalDNSSEC + 30,
@@ -41,7 +42,7 @@ func TestLongitudinalScanMatchesModelSeries(t *testing.T) {
 	}
 	store := dataset.NewStore()
 	for _, day := range days {
-		mat, err := Materialize(day, w.Domains)
+		mat, err := Materialize(day, domains)
 		if err != nil {
 			t.Fatalf("materialize %v: %v", day, err)
 		}
@@ -53,7 +54,7 @@ func TestLongitudinalScanMatchesModelSeries(t *testing.T) {
 			t.Fatal(err)
 		}
 		var targets []scan.Target
-		for _, d := range w.Domains {
+		for _, d := range domains {
 			targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
 		}
 		snap, _, err := scanner.ScanDay(context.Background(), day, targets)

@@ -184,14 +184,14 @@ func Materialize(day simtime.Day, domains []DomainState) (*Materialized, error) 
 // materialized verification scans, preserving class diversity by simple
 // uniform sampling over the full population.
 func (w *World) Sample(n int, seed int64) []DomainState {
-	if n >= len(w.Domains) {
-		return append([]DomainState(nil), w.Domains...)
+	if n >= w.Len() {
+		return w.AllDomains()
 	}
 	rng := rand.New(rand.NewSource(seed))
-	idx := rng.Perm(len(w.Domains))[:n]
+	idx := rng.Perm(w.Len())[:n]
 	out := make([]DomainState, 0, n)
 	for _, i := range idx {
-		out = append(out, w.Domains[i])
+		out = append(out, w.DomainAt(i))
 	}
 	return out
 }

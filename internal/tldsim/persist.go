@@ -1,0 +1,106 @@
+package tldsim
+
+// World persistence: build once, load many. A world's columnar index is
+// saved in the colstore section format and re-loaded (memory-mapped where
+// possible) in O(seconds), keyed by a fingerprint of everything that
+// determines the population — so a cache hit is exactly the world a fresh
+// build would have produced.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"securepki.org/registrarsec/internal/colstore"
+)
+
+// Fingerprint hashes the generation-determining parts of the config:
+// scale, seed, window, and tail-operator plan. Workers is excluded — the
+// build is byte-identical at any parallelism.
+func (c WorldConfig) Fingerprint() string {
+	cc := c
+	cc.fill()
+	tails := make([]string, 0, len(cc.TailOperators))
+	for tld, n := range cc.TailOperators {
+		tails = append(tails, tld+":"+strconv.Itoa(n))
+	}
+	sort.Strings(tails)
+	canon := fmt.Sprintf("v1 scale=%.12g seed=%d window=%d..%d tail=%v",
+		cc.Scale, cc.Seed, int(cc.WindowStart), int(cc.WindowEnd), tails)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Save writes the world's columnar index to path atomically, annotated
+// with the config fingerprint so a later load can verify provenance.
+func (w *World) Save(path string) error {
+	return w.Index().SaveFile(path, map[string]string{
+		"fingerprint": w.Config.Fingerprint(),
+		"scale":       strconv.FormatFloat(w.Config.Scale, 'g', -1, 64),
+		"seed":        strconv.FormatInt(w.Config.Seed, 10),
+	})
+}
+
+// LoadWorld reads a saved world from path. The returned world serves
+// every query from the loaded index; Cohorts are not persisted (use
+// BuildCached, which re-plans them, if scenario derivation is needed).
+// Close the world to release the mapping.
+func LoadWorld(path string) (*World, map[string]string, error) {
+	idx, meta, err := colstore.Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &World{idx: idx}, meta, nil
+}
+
+// Close releases the world's resources (the file mapping, when the index
+// was loaded from disk). The world must not be queried afterwards.
+func (w *World) Close() error {
+	if w.idx != nil {
+		return w.idx.Close()
+	}
+	return nil
+}
+
+// BuildCached returns the world for cfg, loading it from dir when a
+// matching save exists and building-then-saving it otherwise. The cache
+// key is the config fingerprint, so any change to scale, seed, window, or
+// tail plan builds a distinct file. A corrupt or mismatched cache entry
+// is rebuilt, never trusted.
+func BuildCached(dir string, cfg WorldConfig) (*World, error) {
+	cfg.fill()
+	fp := cfg.Fingerprint()
+	path := filepath.Join(dir, "world-"+fp+".rscw")
+	idx, meta, err := colstore.Load(path)
+	if err == nil {
+		if meta["fingerprint"] == fp {
+			cohorts, perr := planCohorts(cfg)
+			if perr != nil {
+				idx.Close()
+				return nil, perr
+			}
+			return &World{Config: cfg, Cohorts: cohorts, idx: idx}, nil
+		}
+		idx.Close() // stale key scheme or hash collision: rebuild
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		// A corrupt cache file is not fatal — rebuild and overwrite it.
+		fmt.Fprintf(os.Stderr, "tldsim: ignoring unreadable world cache %s: %v\n", path, err)
+	}
+	w, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := w.Save(path); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,8 +1,6 @@
 package tldsim
 
 import (
-	"math/rand"
-
 	"securepki.org/registrarsec/internal/simtime"
 )
 
@@ -172,7 +170,7 @@ func BuildScenario(s Scenario, cfg WorldConfig) (*World, error) {
 		}
 		cohorts = append(cohorts, c)
 	}
-	w := &World{Config: cfg}
-	w.sampleCohorts(rand.New(rand.NewSource(cfg.Seed*31+int64(s))), cohorts)
+	w := &World{Config: cfg, Cohorts: cohorts}
+	w.idx = buildIndexStreaming(&cfg, cohorts, cfg.Seed*31+int64(s), cfg.Workers)
 	return w, nil
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"securepki.org/registrarsec/internal/analysis"
@@ -26,6 +28,11 @@ type WorldConfig struct {
 	TailOperators map[string]int
 	// WindowStart/WindowEnd bound the measurement (defaults: the paper's).
 	WindowStart, WindowEnd simtime.Day
+	// Workers bounds the parallelism of the streaming build (0 = all
+	// cores). The generated world is byte-identical for a given seed
+	// regardless of this value, so it is excluded from the config
+	// fingerprint.
+	Workers int
 }
 
 func (c *WorldConfig) fill() {
@@ -64,28 +71,20 @@ type DomainState struct {
 	ExpiredSig bool
 }
 
-// nsHostsCache interns the one-element NS-host slice per operator, so
-// projecting a domain onto a day shares one slice per operator instead of
-// allocating a fresh one per record per day. Callers must treat the
-// returned slice as immutable.
-var nsHostsCache sync.Map // operator -> []string
-
-func nsHostsFor(operator string) []string {
-	if v, ok := nsHostsCache.Load(operator); ok {
-		return v.([]string)
-	}
-	v, _ := nsHostsCache.LoadOrStore(operator, []string{nsFor(operator)})
-	return v.([]string)
+// RecordAt projects the domain onto one measurement day. The NS-host
+// slice is freshly allocated; bulk projections should go through
+// World.recordAt, which interns one slice per operator per world.
+func (d *DomainState) RecordAt(day simtime.Day) dataset.Record {
+	return d.recordAt(day, []string{nsFor(d.Operator)})
 }
 
-// RecordAt projects the domain onto one measurement day.
-func (d *DomainState) RecordAt(day simtime.Day) dataset.Record {
+func (d *DomainState) recordAt(day simtime.Day, nsHosts []string) dataset.Record {
 	hasKey := d.KeyDay <= day
 	hasDS := d.DSDay <= day
 	return dataset.Record{
 		Domain:     d.Name,
 		TLD:        d.TLD,
-		NSHosts:    nsHostsFor(d.Operator),
+		NSHosts:    nsHosts,
 		Operator:   d.Operator,
 		HasDNSKEY:  hasKey,
 		HasRRSIG:   hasKey,
@@ -94,27 +93,40 @@ func (d *DomainState) RecordAt(day simtime.Day) dataset.Record {
 	}
 }
 
-// World is a generated ecosystem population.
+// World is a generated ecosystem population. The canonical representation
+// is the columnar index; the streaming build never materializes Domains.
+// The legacy record-at-a-time path (BuildLegacy, Domains non-nil) is
+// retained as the equivalence oracle at small scale.
 type World struct {
-	Config  WorldConfig
+	Config WorldConfig
+	// Domains is the materialized population — only set by BuildLegacy
+	// (and by tests that fabricate worlds directly). Streaming worlds
+	// leave it nil and serve everything from the index.
 	Domains []DomainState
 	// Cohorts are the resolved (scaled) cohorts, named then tail.
 	Cohorts []Cohort
 
-	// idx is the lazily built columnar analytics index over Domains; every
-	// snapshot/series/aggregation query routes through it. Build once —
-	// Domains are immutable after generation.
+	// idx is the columnar analytics index — set eagerly by the streaming
+	// build (or a Load), lazily built from Domains for legacy worlds.
+	// Every snapshot/series/aggregation query routes through it.
 	idxOnce sync.Once
 	idx     *colstore.Index
+
+	// nsHosts interns the one-element NS-host slice per operator, scoped
+	// to this world so slices never leak or cross-contaminate between
+	// worlds in one process.
+	nsMu    sync.Mutex
+	nsHosts map[string][]string
 }
 
-// Index returns the world's columnar analytics engine, building it on
-// first use. The build interns operators/TLDs/registrars into dense IDs,
-// lays the population out as fixed-width day columns, and day-sorts the
-// per-(operator, TLD) adoption event lists the incremental series sweep
-// runs on.
+// Index returns the world's columnar analytics engine. Streaming worlds
+// carry it from construction; legacy worlds build it from Domains on
+// first use, interning operators/TLDs/registrars into dense IDs.
 func (w *World) Index() *colstore.Index {
 	w.idxOnce.Do(func() {
+		if w.idx != nil {
+			return
+		}
 		b := colstore.NewBuilder(len(w.Domains))
 		for i := range w.Domains {
 			d := &w.Domains[i]
@@ -124,6 +136,7 @@ func (w *World) Index() *colstore.Index {
 				Operator:   d.Operator,
 				Registrar:  d.Registrar,
 				NSHost:     nsFor(d.Operator),
+				Created:    d.Created,
 				KeyDay:     d.KeyDay,
 				DSDay:      d.DSDay,
 				BrokenDS:   d.BrokenDS,
@@ -133,6 +146,72 @@ func (w *World) Index() *colstore.Index {
 		w.idx = b.Build()
 	})
 	return w.idx
+}
+
+// Len returns the population size without materializing anything.
+func (w *World) Len() int {
+	if w.Domains != nil {
+		return len(w.Domains)
+	}
+	return w.Index().Len()
+}
+
+// DomainAt projects one domain out of the population — a struct copy for
+// legacy worlds, a column gather for streaming ones. Both build paths
+// yield identical values at the same position for the same seed.
+func (w *World) DomainAt(i int) DomainState {
+	if w.Domains != nil {
+		return w.Domains[i]
+	}
+	d := w.Index().Row(i)
+	return DomainState{
+		Name:       d.Name,
+		TLD:        d.TLD,
+		Operator:   d.Operator,
+		Registrar:  d.Registrar,
+		Created:    d.Created,
+		KeyDay:     d.KeyDay,
+		DSDay:      d.DSDay,
+		BrokenDS:   d.BrokenDS,
+		ExpiredSig: d.ExpiredSig,
+	}
+}
+
+// AllDomains materializes the full population as DomainStates. Intended
+// for small worlds (tests, ablations); at scale, iterate DomainAt or use
+// the index directly.
+func (w *World) AllDomains() []DomainState {
+	if w.Domains != nil {
+		return append([]DomainState(nil), w.Domains...)
+	}
+	n := w.Index().Len()
+	out := make([]DomainState, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, w.DomainAt(i))
+	}
+	return out
+}
+
+// nsHostsFor interns the one-element NS-host slice per operator within
+// this world. Callers must treat the returned slice as immutable.
+func (w *World) nsHostsFor(operator string) []string {
+	w.nsMu.Lock()
+	defer w.nsMu.Unlock()
+	if w.nsHosts == nil {
+		w.nsHosts = make(map[string][]string)
+	}
+	v, ok := w.nsHosts[operator]
+	if !ok {
+		v = []string{nsFor(operator)}
+		w.nsHosts[operator] = v
+	}
+	return v
+}
+
+// recordAt projects a domain onto one day with the per-world interned
+// NS-host slice — the allocation-free bulk projection primitive.
+func (w *World) recordAt(d *DomainState, day simtime.Day) dataset.Record {
+	return d.recordAt(day, w.nsHostsFor(d.Operator))
 }
 
 // tailDSByTLD encodes how the anonymous tail handles DS records: gTLD tail
@@ -148,14 +227,11 @@ var tailDSByTLD = map[string]DSSpec{
 	"se":  {Mode: DSWithKey, Prob: 0.94, BrokenFrac: 0.015},
 }
 
-// Build generates the world: named cohorts from the catalogue plus a
-// power-law tail per TLD calibrated so each TLD hits its Table 1 size and
-// DNSKEY percentage.
-func Build(cfg WorldConfig) (*World, error) {
-	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	w := &World{Config: cfg}
-
+// planCohorts resolves the full cohort list for a config: named cohorts
+// from the catalogue plus a power-law tail per TLD calibrated so each TLD
+// hits its Table 1 size and DNSKEY percentage. Deterministic and cheap —
+// no per-domain sampling happens here.
+func planCohorts(cfg WorldConfig) ([]Cohort, error) {
 	named := NamedCohorts()
 	// Scale the named cohorts and account per-TLD totals.
 	namedDomains := make(map[string]int)    // tld -> scaled named population
@@ -207,16 +283,42 @@ func Build(cfg WorldConfig) (*World, error) {
 			})
 		}
 	}
-	w.sampleCohorts(rng, cohorts)
+	return cohorts, nil
+}
+
+// Build generates the world with the streaming columnar pipeline: cohorts
+// are sampled in parallel into per-cohort column shards and merged into
+// the canonical index without ever materializing []DomainState. The
+// result is byte-identical for a given seed regardless of worker count.
+func Build(cfg WorldConfig) (*World, error) {
+	cfg.fill()
+	cohorts, err := planCohorts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Config: cfg, Cohorts: cohorts}
+	w.idx = buildIndexStreaming(&cfg, cohorts, cfg.Seed, cfg.Workers)
 	return w, nil
 }
 
-// BuildCustom generates a world from an explicit cohort list (no named
-// catalogue, no tail) — for ablations and focused experiments.
+// BuildLegacy generates the same world as Build but materialized as
+// []DomainState — the record-at-a-time equivalence oracle. Same seed,
+// same population, domain for domain.
+func BuildLegacy(cfg WorldConfig) (*World, error) {
+	cfg.fill()
+	cohorts, err := planCohorts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{Config: cfg}
+	w.sampleCohorts(cfg.Seed, cohorts)
+	return w, nil
+}
+
+// BuildCustom generates a streaming world from an explicit cohort list
+// (no named catalogue, no tail) — for ablations and focused experiments.
 func BuildCustom(cfg WorldConfig, cohorts []Cohort) (*World, error) {
 	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	w := &World{Config: cfg}
 	scaled := make([]Cohort, 0, len(cohorts))
 	for _, c := range cohorts {
 		c.Domains = int(math.Round(float64(c.Domains) * cfg.Scale))
@@ -224,34 +326,186 @@ func BuildCustom(cfg WorldConfig, cohorts []Cohort) (*World, error) {
 			scaled = append(scaled, c)
 		}
 	}
-	w.sampleCohorts(rng, scaled)
+	w := &World{Config: cfg, Cohorts: scaled}
+	w.idx = buildIndexStreaming(&cfg, scaled, cfg.Seed, cfg.Workers)
 	return w, nil
 }
 
-// sampleCohorts draws every domain's history from its cohort profile.
-func (w *World) sampleCohorts(rng *rand.Rand, cohorts []Cohort) {
+// cohortSeed derives cohort ci's independent RNG stream from the base
+// seed via a splitmix64-style mix: adjacent cohorts get decorrelated
+// streams, and each stream depends only on (base, ci) — not on which
+// worker runs it or in what order — which is what makes the parallel
+// build deterministic.
+func cohortSeed(base int64, ci int) int64 {
+	z := uint64(base) + uint64(ci+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// domainDraw is one domain's sampled history, before naming.
+type domainDraw struct {
+	created simtime.Day
+	keyDay  simtime.Day
+	dsDay   simtime.Day
+	broken  bool
+	expired bool
+}
+
+// drawDomain samples one domain's history from its cohort profile. The
+// draw order (created, key, DS, expired) is the contract both build paths
+// share: a cohort's RNG stream yields the same population either way.
+func drawDomain(rng *rand.Rand, c *Cohort, cfg *WorldConfig) domainDraw {
+	// Registrations spread over the three years before the window end;
+	// most predate the window start.
+	created := simtime.Day(rng.Intn(int(cfg.WindowStart)+700)) - 700
+	keyDay := c.Key.sampleKeyDay(rng, created, cfg.WindowStart, cfg.WindowEnd)
+	dsDay, broken := c.DS.sampleDS(rng, keyDay, created)
+	expired := keyDay != simtime.Never && c.ExpiredSigFrac > 0 &&
+		rng.Float64() < c.ExpiredSigFrac
+	return domainDraw{created: created, keyDay: keyDay, dsDay: dsDay, broken: broken, expired: expired}
+}
+
+// domainName formats "d<idx, zero-padded to 7>-<slug>.<tld>" where suffix
+// is the precomputed "-<slug>.<tld>" fragment. Equivalent to
+// fmt.Sprintf("d%07d%s", idx, suffix) without the formatting overhead.
+func domainName(idx int, suffix string) string {
+	var digits [20]byte
+	b := strconv.AppendInt(digits[:0], int64(idx), 10)
+	pad := 7 - len(b)
+	if pad < 0 {
+		pad = 0
+	}
+	out := make([]byte, 0, 1+pad+len(b)+len(suffix))
+	out = append(out, 'd')
+	for i := 0; i < pad; i++ {
+		out = append(out, '0')
+	}
+	out = append(out, b...)
+	out = append(out, suffix...)
+	return string(out)
+}
+
+// cohortSuffix is the per-cohort name fragment shared by every domain.
+func cohortSuffix(c *Cohort) string {
+	return "-" + slug(c.Operator) + "." + c.TLD
+}
+
+// shardChunkDomains is the target row count per generation shard. The
+// power-law tail yields tens of thousands of cohorts of a handful of
+// domains each; giving every one its own shard would make fixed per-shard
+// overhead dominate the build at small scale. Instead contiguous cohorts
+// are batched into chunks of roughly this many domains. The boundaries
+// depend only on the cohort sizes — never on the worker count — so the
+// chunking cannot perturb the byte-identity guarantee.
+const shardChunkDomains = 4096
+
+// buildIndexStreaming is the parallel sharded generation pipeline:
+// contiguous cohorts are batched into column-shard chunks, filled by a
+// worker pool, and merged in chunk order. Cohort ci always draws from
+// cohortSeed(baseSeed, ci) and names its domains from the prefix-sum
+// start index regardless of which chunk or worker it lands on, so the
+// merged index — and its serialized bytes — are identical for any worker
+// count, and identical domain-for-domain to the sequential legacy build.
+func buildIndexStreaming(cfg *WorldConfig, cohorts []Cohort, baseSeed int64, workers int) *colstore.Index {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	starts := make([]int, len(cohorts)+1)
+	for i := range cohorts {
+		starts[i+1] = starts[i] + cohorts[i].Domains
+	}
+	// Chunk boundaries: close a chunk once it has accumulated the target
+	// domain count. chunks[k]..chunks[k+1] is a half-open cohort range.
+	chunks := []int{0}
+	acc := 0
+	for ci := range cohorts {
+		acc += cohorts[ci].Domains
+		if acc >= shardChunkDomains {
+			chunks = append(chunks, ci+1)
+			acc = 0
+		}
+	}
+	if chunks[len(chunks)-1] != len(cohorts) {
+		chunks = append(chunks, len(cohorts))
+	}
+	shards := make([]*colstore.Shard, len(chunks)-1)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				lo, hi := chunks[job], chunks[job+1]
+				s := colstore.NewShard(starts[hi] - starts[lo])
+				for ci := lo; ci < hi; ci++ {
+					fillCohort(s, cfg, &cohorts[ci], cohortSeed(baseSeed, ci), starts[ci])
+				}
+				shards[job] = s
+			}
+		}()
+	}
+	for job := range shards {
+		jobs <- job
+	}
+	close(jobs)
+	wg.Wait()
+	return colstore.MergeShards(shards)
+}
+
+// fillCohort samples one cohort into the shard from its own RNG stream.
+func fillCohort(s *colstore.Shard, cfg *WorldConfig, c *Cohort, seed int64, nameStart int) {
+	rng := rand.New(rand.NewSource(seed))
+	suffix := cohortSuffix(c)
+	ns := nsFor(c.Operator)
+	for i := 0; i < c.Domains; i++ {
+		dr := drawDomain(rng, c, cfg)
+		s.Add(colstore.Domain{
+			Name:       domainName(nameStart+i, suffix),
+			TLD:        c.TLD,
+			Operator:   c.Operator,
+			Registrar:  c.Registrar,
+			NSHost:     ns,
+			Created:    dr.created,
+			KeyDay:     dr.keyDay,
+			DSDay:      dr.dsDay,
+			BrokenDS:   dr.broken,
+			ExpiredSig: dr.expired,
+		})
+	}
+}
+
+// sampleCohorts is the legacy sequential materializer: every domain's
+// history lands in w.Domains. It draws from the same per-cohort RNG
+// streams as the parallel build, so both paths realize the same world.
+func (w *World) sampleCohorts(baseSeed int64, cohorts []Cohort) {
 	cfg := w.Config
 	w.Cohorts = cohorts
+	total := 0
+	for i := range cohorts {
+		total += cohorts[i].Domains
+	}
+	w.Domains = make([]DomainState, 0, total)
 	for ci := range cohorts {
 		c := &cohorts[ci]
+		rng := rand.New(rand.NewSource(cohortSeed(baseSeed, ci)))
+		suffix := cohortSuffix(c)
 		for i := 0; i < c.Domains; i++ {
-			// Registrations spread over the three years before the window
-			// end; most predate the window start.
-			created := simtime.Day(rng.Intn(int(cfg.WindowStart)+700)) - 700
-			keyDay := c.Key.sampleKeyDay(rng, created, cfg.WindowStart, cfg.WindowEnd)
-			dsDay, broken := c.DS.sampleDS(rng, keyDay, created)
-			expired := keyDay != simtime.Never && c.ExpiredSigFrac > 0 &&
-				rng.Float64() < c.ExpiredSigFrac
+			dr := drawDomain(rng, c, &cfg)
 			w.Domains = append(w.Domains, DomainState{
-				Name:       fmt.Sprintf("d%07d-%s.%s", len(w.Domains), slug(c.Operator), c.TLD),
+				Name:       domainName(len(w.Domains), suffix),
 				TLD:        c.TLD,
 				Operator:   c.Operator,
 				Registrar:  c.Registrar,
-				Created:    created,
-				KeyDay:     keyDay,
-				DSDay:      dsDay,
-				BrokenDS:   broken,
-				ExpiredSig: expired,
+				Created:    dr.created,
+				KeyDay:     dr.keyDay,
+				DSDay:      dr.dsDay,
+				BrokenDS:   dr.broken,
+				ExpiredSig: dr.expired,
 			})
 		}
 	}
@@ -341,9 +595,17 @@ func (w *World) SnapshotAt(day simtime.Day) *dataset.Snapshot {
 // assert SnapshotAt output is identical, and regsec-bench measures the
 // speedup against it.
 func (w *World) SnapshotAtLegacy(day simtime.Day) *dataset.Snapshot {
-	snap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, len(w.Domains))}
-	for i := range w.Domains {
-		snap.Records = append(snap.Records, w.Domains[i].RecordAt(day))
+	n := w.Len()
+	snap := &dataset.Snapshot{Day: day, Records: make([]dataset.Record, 0, n)}
+	if w.Domains != nil {
+		for i := range w.Domains {
+			snap.Records = append(snap.Records, w.recordAt(&w.Domains[i], day))
+		}
+		return snap
+	}
+	for i := 0; i < n; i++ {
+		d := w.DomainAt(i)
+		snap.Records = append(snap.Records, w.recordAt(&d, day))
 	}
 	return snap
 }
@@ -365,8 +627,9 @@ func (w *World) SeriesForLegacy(operator, tld string, from, to simtime.Day, step
 	}
 	var keyDays, dsDays, fullDays []simtime.Day
 	total := 0
-	for i := range w.Domains {
-		d := &w.Domains[i]
+	n := w.Len()
+	for i := 0; i < n; i++ {
+		d := w.DomainAt(i)
 		if d.Operator != operator || (tld != "" && d.TLD != tld) {
 			continue
 		}

@@ -1,0 +1,210 @@
+package tldsim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"securepki.org/registrarsec/internal/analysis"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// TestStreamingBuildWorkerInvariance is the core determinism property of
+// the sharded pipeline: serial, 2-worker, and 8-worker streaming builds
+// of the same seed must serialize to byte-identical world files.
+func TestStreamingBuildWorkerInvariance(t *testing.T) {
+	cfg := WorldConfig{Scale: 1.0 / 5000, Seed: 1234}
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		c := cfg
+		c.Workers = workers
+		w, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := w.Index().Save(&buf, map[string]string{"fingerprint": c.Fingerprint()}); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("%d-worker build serialized differently from the serial build (%d vs %d bytes)",
+				workers, len(buf.Bytes()), len(want))
+		}
+	}
+}
+
+// TestStreamingMatchesLegacy holds the streaming build equal to the
+// materialized oracle, domain for domain and query for query.
+func TestStreamingMatchesLegacy(t *testing.T) {
+	cfg := WorldConfig{Scale: 1.0 / 2000, Seed: 77}
+	stream, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := BuildLegacy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Len() != legacy.Len() {
+		t.Fatalf("population sizes differ: streaming %d, legacy %d", stream.Len(), legacy.Len())
+	}
+	for i := 0; i < stream.Len(); i++ {
+		if s, l := stream.DomainAt(i), legacy.DomainAt(i); s != l {
+			t.Fatalf("domain %d differs:\nstreaming %+v\nlegacy    %+v", i, s, l)
+		}
+	}
+	for _, day := range []simtime.Day{simtime.GTLDStart, simtime.End} {
+		got := stream.SnapshotAt(day)
+		want := legacy.SnapshotAt(day)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("SnapshotAt(%v) diverges between build paths", day)
+		}
+		gotOv := analysis.Overview(got, AllTLDs)
+		wantOv := analysis.Overview(want, AllTLDs)
+		if !reflect.DeepEqual(gotOv, wantOv) {
+			t.Fatalf("Overview(%v) diverges: %v vs %v", day, gotOv, wantOv)
+		}
+	}
+	for _, op := range []string{"ovh.net", "cloudflare.com", "tail0000.com-hosting.example"} {
+		got := stream.SeriesFor(op, "", simtime.GTLDStart, simtime.End, 30)
+		want := legacy.SeriesFor(op, "", simtime.GTLDStart, simtime.End, 30)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("SeriesFor(%s) diverges between build paths", op)
+		}
+	}
+	// Samples must coincide too: the sweep pipeline scans identical
+	// domains whichever path built the world.
+	if !reflect.DeepEqual(stream.Sample(200, 7), legacy.Sample(200, 7)) {
+		t.Fatal("Sample diverges between build paths")
+	}
+}
+
+// TestWorldSaveLoadRoundTrip drives the full persistence cycle: a saved
+// world re-loads with every query result intact, through both the mmap
+// and the copying loader.
+func TestWorldSaveLoadRoundTrip(t *testing.T) {
+	cfg := WorldConfig{Scale: 1.0 / 5000, Seed: 5}
+	w, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "world.rscw")
+	if err := w.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, meta, err := LoadWorld(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if meta["fingerprint"] != cfg.Fingerprint() {
+		t.Errorf("fingerprint %q, want %q", meta["fingerprint"], cfg.Fingerprint())
+	}
+	if loaded.Len() != w.Len() {
+		t.Fatalf("loaded %d domains, want %d", loaded.Len(), w.Len())
+	}
+	for _, i := range []int{0, 1, w.Len() / 2, w.Len() - 1} {
+		if got, want := loaded.DomainAt(i), w.DomainAt(i); got != want {
+			t.Fatalf("domain %d differs after round trip:\nloaded %+v\nbuilt  %+v", i, got, want)
+		}
+	}
+	if !reflect.DeepEqual(loaded.SnapshotAt(simtime.End), w.SnapshotAt(simtime.End)) {
+		t.Fatal("snapshot diverges after round trip")
+	}
+	series := func(w *World) []analysis.SeriesPoint {
+		return w.SeriesFor("ovh.net", "", simtime.GTLDStart, simtime.End, 30)
+	}
+	if !reflect.DeepEqual(series(loaded), series(w)) {
+		t.Fatal("series diverges after round trip")
+	}
+	if !reflect.DeepEqual(loaded.DomainsByRegistrar(GTLDs...), w.DomainsByRegistrar(GTLDs...)) {
+		t.Fatal("registrar tally diverges after round trip")
+	}
+}
+
+// TestBuildCached exercises the build-once/load-many path: a second call
+// with the same config must hit the cache file, and a different seed must
+// build a different file.
+func TestBuildCached(t *testing.T) {
+	dir := t.TempDir()
+	cfg := WorldConfig{Scale: 1.0 / 5000, Seed: 8}
+	a, err := BuildCached(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "world-*.rscw"))
+	if len(files) != 1 {
+		t.Fatalf("cache holds %d files after first build, want 1: %v", len(files), files)
+	}
+	info1, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCached(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	info2, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.ModTime().Equal(info1.ModTime()) || info2.Size() != info1.Size() {
+		t.Error("second BuildCached rewrote the cache file instead of loading it")
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("cached world has %d domains, built world %d", b.Len(), a.Len())
+	}
+	if !reflect.DeepEqual(a.SnapshotAt(simtime.End), b.SnapshotAt(simtime.End)) {
+		t.Fatal("cached world snapshot diverges from built world")
+	}
+	// Scenario derivation needs cohorts, which BuildCached re-plans.
+	if len(b.Cohorts) == 0 {
+		t.Error("cached world has no cohorts")
+	}
+
+	other := cfg
+	other.Seed = 9
+	if _, err := BuildCached(dir, other); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "world-*.rscw"))
+	if len(files) != 2 {
+		t.Fatalf("cache holds %d files after second seed, want 2", len(files))
+	}
+
+	// A corrupt cache entry is rebuilt, not trusted.
+	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[1], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := BuildCached(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != a.Len() {
+		t.Fatalf("rebuild after corruption has %d domains, want %d", c.Len(), a.Len())
+	}
+}
+
+// TestWorkersExcludedFromFingerprint: worker count must not change the
+// cache key, because it does not change the world.
+func TestWorkersExcludedFromFingerprint(t *testing.T) {
+	a := WorldConfig{Scale: 1.0 / 5000, Seed: 3, Workers: 1}
+	b := WorldConfig{Scale: 1.0 / 5000, Seed: 3, Workers: 8}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("worker count changed the config fingerprint")
+	}
+	c := WorldConfig{Scale: 1.0 / 5000, Seed: 4}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("seed change did not change the config fingerprint")
+	}
+}

@@ -1,6 +1,7 @@
 package tldsim
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"testing"
@@ -12,13 +13,17 @@ import (
 	"securepki.org/registrarsec/internal/simtime"
 )
 
-// testWorld builds a reduced-scale world once per test binary.
+// testWorld builds a reduced-scale world once per test binary. It uses
+// the legacy materialized build so it doubles as the equivalence oracle:
+// the statistical assertions run against []DomainState, and the streaming
+// path is held equal to it by the equivalence tests in
+// world_stream_test.go.
 var testWorldCache *World
 
 func testWorld(t *testing.T) *World {
 	t.Helper()
 	if testWorldCache == nil {
-		w, err := Build(WorldConfig{Scale: 1.0 / 250, Seed: 42})
+		w, err := BuildLegacy(WorldConfig{Scale: 1.0 / 250, Seed: 99})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,38 +307,24 @@ func TestMaterializedScanMatchesModel(t *testing.T) {
 }
 
 func TestWorldDeterminism(t *testing.T) {
-	a, err := Build(WorldConfig{Scale: 1.0 / 50000, Seed: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Build(WorldConfig{Scale: 1.0 / 50000, Seed: 9})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(a.Domains) != len(b.Domains) {
-		t.Fatalf("sizes differ: %d vs %d", len(a.Domains), len(b.Domains))
-	}
-	for i := range a.Domains {
-		if a.Domains[i] != b.Domains[i] {
-			t.Fatalf("domain %d differs: %+v vs %+v", i, a.Domains[i], b.Domains[i])
+	worldBytes := func(seed int64) []byte {
+		t.Helper()
+		w, err := Build(WorldConfig{Scale: 1.0 / 50000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	c, err := Build(WorldConfig{Scale: 1.0 / 50000, Seed: 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	same := len(a.Domains) == len(c.Domains)
-	if same {
-		diff := false
-		for i := range a.Domains {
-			if a.Domains[i] != c.Domains[i] {
-				diff = true
-				break
-			}
+		var buf bytes.Buffer
+		if err := w.Index().Save(&buf, nil); err != nil {
+			t.Fatal(err)
 		}
-		if !diff {
-			t.Error("different seeds produced identical worlds")
-		}
+		return buf.Bytes()
+	}
+	a, b := worldBytes(9), worldBytes(9)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different serialized worlds")
+	}
+	if c := worldBytes(10); bytes.Equal(a, c) {
+		t.Error("different seeds produced identical worlds")
 	}
 }
 
@@ -368,7 +359,8 @@ func TestExpiredSignaturesScannedAsBroken(t *testing.T) {
 			t.Fatalf("model: %s is %v, want broken", snap.Records[i].Domain, snap.Records[i].Deployment())
 		}
 	}
-	mat, err := Materialize(simtime.End, w.Domains)
+	domains := w.AllDomains()
+	mat, err := Materialize(simtime.End, domains)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +372,7 @@ func TestExpiredSignaturesScannedAsBroken(t *testing.T) {
 		t.Fatal(err)
 	}
 	var targets []scan.Target
-	for _, d := range w.Domains {
+	for _, d := range domains {
 		targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
 	}
 	live, _, err := scanner.ScanDay(context.Background(), simtime.End, targets)

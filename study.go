@@ -109,6 +109,10 @@ type Options struct {
 	// SkipAgents omits the live registrar agents (measurement-only
 	// studies).
 	SkipAgents bool
+	// WorldCacheDir, when set, caches the generated world on disk keyed
+	// by (seed, scale, config fingerprint): the first study builds and
+	// saves it, later studies load it in O(seconds).
+	WorldCacheDir string
 }
 
 // Study is a fully wired reproduction environment.
@@ -154,7 +158,14 @@ func NewStudy(opts Options) (*Study, error) {
 		s.Agents, s.Top20, s.Top10 = byID, top20, top10
 	}
 	if !opts.SkipWorld {
-		world, err := tldsim.Build(tldsim.WorldConfig{Scale: opts.Scale, Seed: opts.Seed})
+		cfg := tldsim.WorldConfig{Scale: opts.Scale, Seed: opts.Seed}
+		var world *tldsim.World
+		var err error
+		if opts.WorldCacheDir != "" {
+			world, err = tldsim.BuildCached(opts.WorldCacheDir, cfg)
+		} else {
+			world, err = tldsim.Build(cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
