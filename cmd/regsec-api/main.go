@@ -1,0 +1,129 @@
+// Command regsec-api is the always-on observatory daemon: an HTTP/JSON
+// query plane over the registrar-DNSSEC world that keeps itself current
+// by tailing a growing scan archive. It resumes from its committed world
+// file on start, ingests new checksummed archive sections incrementally
+// (no rebuild), and serves:
+//
+//	GET /healthz            liveness (the process serves HTTP)
+//	GET /readyz             readiness (world loaded AND archive poll fresh)
+//	GET /v1/status          ingest cursor, counts, gate + supervisor stats
+//	GET /v1/table1          Table 1 per-TLD overview    [?day=][&tlds=com,net]
+//	GET /v1/series          deployment series           ?operator=[&tld=][&from=][&to=][&step=]
+//	GET /v1/operators       per-operator counts         [?day=][&class=][&limit=]
+//	GET /v1/registrars      per-registrar counts        [?day=][&tlds=]
+//	GET /v1/dsgap           DNSKEY-without-DS share     [?day=][&tlds=]
+//
+// Usage:
+//
+//	regsec-api -archive scans.tsv -world world.colstore
+//	           [-listen 127.0.0.1:7363] [-poll 500ms] [-ready-max-lag 10s]
+//	           [-max-in-flight 64] [-max-queue 256] [-request-timeout 10s]
+//
+// The daemon is crash-safe by construction: every ingest commit lands the
+// world file and its watermark atomically at a section boundary, so a kill
+// at any instruction resumes byte-identical to a clean run. SIGINT/SIGTERM
+// drain in-flight requests gracefully with a hard deadline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"securepki.org/registrarsec/internal/apiserv"
+	"securepki.org/registrarsec/internal/httpx"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	archive := flag.String("archive", "", "checksummed scan archive to tail (required)")
+	world := flag.String("world", "", "committed world file, created on first ingest (required)")
+	watermark := flag.String("watermark", "", "ingest watermark path (default <world>.watermark)")
+	listen := flag.String("listen", "127.0.0.1:7363", "query-plane listen address")
+	poll := flag.Duration("poll", 500*time.Millisecond, "archive poll cadence")
+	commitEvery := flag.Int("commit-every", 1, "archive sections per world commit")
+	readyMaxLag := flag.Duration("ready-max-lag", 10*time.Second, "max staleness of the last archive poll before /readyz fails")
+	maxInFlight := flag.Int("max-in-flight", 64, "concurrently executing requests before queueing")
+	maxQueue := flag.Int("max-queue", 256, "requests waiting for a slot before shedding")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a slot before shedding with 429")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request work deadline")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "hard deadline for graceful shutdown")
+	flag.Parse()
+
+	if *archive == "" || *world == "" {
+		fmt.Fprintln(os.Stderr, "regsec-api requires -archive and -world")
+		return 2
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	s := apiserv.New(apiserv.Config{
+		ArchivePath:    *archive,
+		WorldPath:      *world,
+		WatermarkPath:  *watermark,
+		PollInterval:   *poll,
+		CommitEvery:    *commitEvery,
+		ReadyMaxLag:    *readyMaxLag,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		RequestTimeout: *requestTimeout,
+		Logf:           logf,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	srv := httpx.NewServer(s.Handler())
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			serveErr <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	bgDone := make(chan struct{})
+	go func() {
+		defer close(bgDone)
+		s.Run(ctx)
+	}()
+	logf("regsec-api serving http://%s (archive %s, world %s)", ln.Addr(), *archive, *world)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, err)
+		stop()
+		<-bgDone
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: stop admitting connections, let in-flight requests finish,
+	// give up at the hard deadline. Ingest has already committed at its
+	// last section boundary, so a hard exit loses nothing.
+	logf("regsec-api draining (up to %v)", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logf("regsec-api drain deadline hit: %v", err)
+	}
+	<-bgDone
+	admitted, shed := s.GateStats()
+	logf("regsec-api stopped: %d request(s) served, %d shed", admitted, shed)
+	return 0
+}

@@ -12,6 +12,7 @@
 //	             [-exchange-o BENCH_exchange.json] [-exchange-sample 400] [-exchange-passes 3]
 //	             [-dsweep-o BENCH_dsweep.json] [-dsweep-scale 4000] [-dsweep-sample 150] [-dsweep-shards 4]
 //	             [-worldscale-o BENCH_worldscale.json] [-worldscale-divisors 4000,400,40]
+//	             [-api-o BENCH_api.json] [-api-days 6] [-api-domains 3000] [-api-readers 8] [-api-requests 4000]
 //
 // Each analytics workload is benchmarked in its colstore and legacy
 // variants via testing.Benchmark; the emitted file carries ns/op,
@@ -38,6 +39,12 @@
 // population is small enough it also runs the legacy materialized build
 // and gates on the streaming build allocating strictly less (exit 1
 // otherwise).
+//
+// The api section (enabled with -api-o) runs the observatory daemon
+// in-process over a synthetic archive: read QPS and p50/p99 latency
+// through the full handler stack while one section is ingested
+// concurrently (exit 1 if the ingest does not land mid-run), then the
+// shed rate of a two-slot admission gate under flood.
 package main
 
 import (
@@ -83,6 +90,11 @@ func run() int {
 	dsweepShards := flag.Int("dsweep-shards", 4, "shards per day in the distributed-sweep benchmark")
 	worldscaleOut := flag.String("worldscale-o", "", "world-scale streaming-build baseline output path (empty disables)")
 	worldscaleDivisors := flag.String("worldscale-divisors", "4000,400,40", "comma-separated population divisors for the world-scale section")
+	apiOut := flag.String("api-o", "", "observatory-daemon baseline output path (empty disables)")
+	apiDays := flag.Int("api-days", 6, "archive sections in the api benchmark")
+	apiDomains := flag.Int("api-domains", 3000, "domains per section in the api benchmark")
+	apiReaders := flag.Int("api-readers", 8, "concurrent read workers in the api benchmark")
+	apiRequests := flag.Int("api-requests", 4000, "read requests in the api benchmark")
 	flag.Parse()
 
 	// The legacy materialized build: its []DomainState is what the
@@ -266,6 +278,17 @@ func run() int {
 			Seed:     *seed,
 			Divisors: divisors,
 			OutPath:  *worldscaleOut,
+		}); code != 0 {
+			return code
+		}
+	}
+	if *apiOut != "" {
+		if code := runAPIBench(apiBenchConfig{
+			Days:          *apiDays,
+			DomainsPerDay: *apiDomains,
+			ReadWorkers:   *apiReaders,
+			Requests:      *apiRequests,
+			OutPath:       *apiOut,
 		}); code != 0 {
 			return code
 		}

@@ -43,6 +43,7 @@ import (
 
 	"securepki.org/registrarsec/internal/checkpoint"
 	"securepki.org/registrarsec/internal/dsweep"
+	"securepki.org/registrarsec/internal/httpx"
 	"securepki.org/registrarsec/internal/simtime"
 )
 
@@ -124,7 +125,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	srv := &http.Server{Handler: dsweep.NewHandler(coord)}
+	srv := httpx.NewServer(dsweep.NewHandler(coord))
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,359 @@
+package apiserv
+
+// The chaos harness, in-process edition: the same failures the CI smoke
+// job inflicts on the real binary — kill mid-ingest, corrupt the tail,
+// rotate the archive, flood the query plane, poison a handler — driven
+// deterministically through resumeOnce/pollOnce so every commit boundary
+// is exercised, not just the ones a racing SIGKILL happens to hit.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// archiveBytes renders a full archive for the given days in memory.
+func archiveBytes(t *testing.T, days []simtime.Day, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, d := range days {
+		if err := mkSnap(d, n).WriteArchiveSection(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// runToEnd drives a server's ingest synchronously over the current
+// archive state: resume from disk, then poll once.
+func runToEnd(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.resumeOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.pollOnce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// worldFile reads the committed world bytes.
+func worldFile(t *testing.T, s *Server) []byte {
+	t.Helper()
+	data, err := os.ReadFile(s.cfg.WorldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChaosResumeAtEveryCommitPoint is the crash-equivalence oracle at
+// the daemon layer: for every commit boundary in the archive, a daemon
+// killed right after that commit and restarted over the grown archive
+// must converge to a world file byte-identical to a clean single-pass
+// daemon's, and serve identical Table 1 JSON.
+func TestChaosResumeAtEveryCommitPoint(t *testing.T) {
+	days := []simtime.Day{50, 80, 110, 140, 170}
+	full := archiveBytes(t, days, 80)
+
+	// Clean single-pass reference.
+	cleanDir := t.TempDir()
+	clean := newTestServer(t, cleanDir)
+	if err := os.WriteFile(clean.cfg.ArchivePath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runToEnd(t, clean)
+	wantWorld := worldFile(t, clean)
+	wantTable1 := get(clean.Handler(), "/v1/table1").Body.String()
+
+	// Every event End is a commit boundary a SIGKILL could leave behind.
+	res, err := dataset.TailArchive(clean.cfg.ArchivePath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != len(days) {
+		t.Fatalf("%d events, want %d", len(res.Events), len(days))
+	}
+	cuts := []int64{0}
+	for _, ev := range res.Events {
+		cuts = append(cuts, ev.End)
+	}
+
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		// Life before the crash: ingest the prefix and commit.
+		first := newTestServer(t, dir)
+		if err := os.WriteFile(first.cfg.ArchivePath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		runToEnd(t, first)
+		// The crash: the first daemon is abandoned mid-flight, no shutdown,
+		// no cleanup. The archive keeps growing while it is dead.
+		if err := os.WriteFile(first.cfg.ArchivePath, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The restart: a fresh process resumes from the committed world.
+		second := newTestServer(t, dir)
+		runToEnd(t, second)
+		if got := worldFile(t, second); !bytes.Equal(got, wantWorld) {
+			t.Fatalf("cut %d: resumed world differs from clean world (%d vs %d bytes)", cut, len(got), len(wantWorld))
+		}
+		if got := get(second.Handler(), "/v1/table1").Body.String(); got != wantTable1 {
+			t.Fatalf("cut %d: resumed Table 1 differs from clean run", cut)
+		}
+	}
+}
+
+// TestChaosWatermarkLost: a crash between the world save and the
+// watermark write loses only the introspection copy — the world META is
+// authoritative and the next run is still byte-identical.
+func TestChaosWatermarkLost(t *testing.T) {
+	days := []simtime.Day{400, 430, 460}
+	full := archiveBytes(t, days, 50)
+	half := archiveBytes(t, days[:2], 50)
+
+	dir := t.TempDir()
+	first := newTestServer(t, dir)
+	if err := os.WriteFile(first.cfg.ArchivePath, half, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runToEnd(t, first)
+	for name, mutate := range map[string]func() error{
+		"missing": func() error { return os.Remove(first.watermarkPath()) },
+		"corrupt": func() error {
+			return os.WriteFile(first.watermarkPath(), []byte(`{"offset": 7, "crc32c": "00000000"}`), 0o644)
+		},
+	} {
+		if err := mutate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := os.WriteFile(first.cfg.ArchivePath, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		second := newTestServer(t, dir)
+		runToEnd(t, second)
+		s2 := decodeJSON[Status](t, get(second.Handler(), "/v1/status"))
+		if s2.Sections != 3 || s2.Quarantined != 0 {
+			t.Fatalf("%s watermark: status %+v after resume", name, s2)
+		}
+	}
+
+	cleanDir := t.TempDir()
+	clean := newTestServer(t, cleanDir)
+	if err := os.WriteFile(clean.cfg.ArchivePath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runToEnd(t, clean)
+	second := newTestServer(t, dir)
+	runToEnd(t, second)
+	if !bytes.Equal(worldFile(t, second), worldFile(t, clean)) {
+		t.Fatal("world after watermark loss differs from clean world")
+	}
+}
+
+// TestChaosCorruptTailQuarantined: a corrupted section in the tail is
+// quarantined and counted while ingest continues past it; the daemon
+// stays up and serves the sections around the damage.
+func TestChaosCorruptTailQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+	appendSection(t, s.cfg.ArchivePath, mkSnap(500, 40))
+
+	// Append a section and flip one byte in its body.
+	var buf bytes.Buffer
+	if err := mkSnap(530, 40).WriteArchiveSection(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := buf.Bytes()
+	bad[len(bad)/2] ^= 0x40
+	f, err := os.OpenFile(s.cfg.ArchivePath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	appendSection(t, s.cfg.ArchivePath, mkSnap(560, 40))
+
+	runToEnd(t, s)
+	st := decodeJSON[Status](t, get(s.Handler(), "/v1/status"))
+	if st.Sections != 2 || st.Quarantined != 1 {
+		t.Fatalf("status after corrupt tail: %+v, want 2 sections + 1 quarantined", st)
+	}
+	if st.LastDay != simtime.Day(560).String() {
+		t.Fatalf("last day %s, want %s: ingest did not continue past the damage", st.LastDay, simtime.Day(560))
+	}
+	// The quarantine is itself committed: a restart does not re-count it.
+	s2 := newTestServer(t, dir)
+	runToEnd(t, s2)
+	st2 := decodeJSON[Status](t, get(s2.Handler(), "/v1/status"))
+	if st2.Sections != 2 || st2.Quarantined != 1 {
+		t.Fatalf("status after restart: %+v", st2)
+	}
+}
+
+// TestChaosArchiveRotated: an archive that shrinks below the committed
+// offset resets the daemon to a clean full re-ingest of the new file.
+func TestChaosArchiveRotated(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+	appendSection(t, s.cfg.ArchivePath, mkSnap(600, 70))
+	appendSection(t, s.cfg.ArchivePath, mkSnap(630, 70))
+	runToEnd(t, s)
+
+	// Rotation: the archive is replaced by a shorter, different file.
+	if err := os.WriteFile(s.cfg.ArchivePath, archiveBytes(t, []simtime.Day{700}, 30), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.pollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	st := decodeJSON[Status](t, get(s.Handler(), "/v1/status"))
+	if st.Sections != 1 || st.LastDay != simtime.Day(700).String() {
+		t.Fatalf("status after rotation: %+v, want 1 section at day %s", st, simtime.Day(700))
+	}
+	got := decodeJSON[table1Doc](t, get(s.Handler(), "/v1/table1"))
+	total := 0
+	for _, row := range got.TLDs {
+		total += row.Domains
+	}
+	if wantDomains := 28; total != wantDomains { // 30 targets minus failed i=10,21
+		t.Fatalf("%d domains after rotation, want %d", total, wantDomains)
+	}
+}
+
+// TestChaosFloodShedsNotCrash: a flood against a tiny admission gate
+// yields only 200s and 429s — nothing hangs, nothing dies, and the gate
+// accounts for every shed request.
+func TestChaosFloodShedsNotCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+	s.cfg.MaxInFlight = 2
+	s.cfg.MaxQueue = 1
+	s.cfg.QueueWait = time.Millisecond
+	s.gate = newGate(s.cfg.MaxInFlight, s.cfg.MaxQueue, s.cfg.QueueWait)
+	appendSection(t, s.cfg.ArchivePath, mkSnap(800, 40))
+	runToEnd(t, s)
+
+	// A deliberately slow route keeps slots occupied so the flood has
+	// something to collide with.
+	s.mux.HandleFunc("GET /v1/slow", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(5 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	})
+	h := s.Handler()
+
+	const flood = 80
+	var wg sync.WaitGroup
+	codes := make(chan int, flood)
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/slow", nil))
+			codes <- rec.Code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	ok, shed := 0, 0
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d under flood", c)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("flood: %d ok, %d shed — want both >0", ok, shed)
+	}
+	if _, gateShed := s.GateStats(); gateShed != uint64(shed) {
+		t.Fatalf("gate shed counter %d, responses %d", gateShed, shed)
+	}
+	// The daemon still answers normally after the storm.
+	if rec := get(h, "/v1/table1"); rec.Code != http.StatusOK {
+		t.Fatalf("post-flood table1: %d", rec.Code)
+	}
+}
+
+// TestChaosPoisonedHandler: a route that panics returns 500 and leaves
+// the daemon fully functional; its admission slot is released.
+func TestChaosPoisonedHandler(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+	appendSection(t, s.cfg.ArchivePath, mkSnap(900, 20))
+	runToEnd(t, s)
+	s.mux.HandleFunc("GET /v1/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("poisoned request")
+	})
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		if rec := get(h, "/v1/boom"); rec.Code != http.StatusInternalServerError {
+			t.Fatalf("poisoned request %d: %d, want 500", i, rec.Code)
+		}
+	}
+	if s.panics.Load() != 3 {
+		t.Fatalf("panic counter %d, want 3", s.panics.Load())
+	}
+	if rec := get(h, "/v1/table1"); rec.Code != http.StatusOK {
+		t.Fatalf("table1 after panics: %d", rec.Code)
+	}
+	st := decodeJSON[Status](t, get(h, "/v1/status"))
+	if st.Panics != 3 {
+		t.Fatalf("status panics %d, want 3", st.Panics)
+	}
+}
+
+// TestChaosTailerPanicIsSupervised: a panic inside the ingest path takes
+// down the component, not the process — the supervisor restarts it and
+// ingest completes.
+func TestChaosTailerPanicIsSupervised(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir)
+	appendSection(t, s.cfg.ArchivePath, mkSnap(950, 30))
+
+	// A component that panics on its first run and then defers to the
+	// real tailer stands in for a transient ingest bug.
+	ran := false
+	sup := &Supervisor{
+		Backoff:   time.Millisecond,
+		Logf:      t.Logf,
+		OnRestart: func(string, error) { s.restarts.Add(1) },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sup.Run(ctx, Component{Name: "tailer", Run: func(ctx context.Context) error {
+		if !ran {
+			ran = true
+			panic("transient ingest bug")
+		}
+		return s.runTailer(ctx)
+	}})
+	h := s.Handler()
+	waitFor(t, "recovery after tailer panic", func() bool {
+		return get(h, "/readyz").Code == http.StatusOK
+	})
+	if s.restarts.Load() == 0 {
+		t.Fatal("no restart recorded")
+	}
+	st := decodeJSON[Status](t, get(h, "/v1/status"))
+	if st.Sections != 1 || st.Restarts == 0 {
+		t.Fatalf("status after supervised recovery: %+v", st)
+	}
+}
+
+// Stalled-reader chaos (slow clients holding connections) is covered at
+// the listener layer by internal/httpx's slow-client test; the unit here
+// is everything above the listener.

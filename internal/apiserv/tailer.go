@@ -1,0 +1,251 @@
+package apiserv
+
+// The tailer is the write side of the daemon: it follows the checksummed
+// scan archive, folds each newly completed section into the colstore
+// ingester, and commits. One commit is:
+//
+//	freeze the ingester → publish the frozen index to readers (atomic
+//	pointer swap) → SaveFile the world with the ingest cursor in its
+//	META section (atomic rename) → write the checksummed watermark
+//	(atomic rename)
+//
+// Commits land only on tail-event boundaries, where the ingested state is
+// a pure function of the archive prefix before the committed offset — so
+// a SIGKILL between any two instructions leaves a world file some clean
+// prefix produced, and the next start replays the remainder to a
+// byte-identical state (the equivalence oracle in colstore's ingest
+// tests). A crash between world save and watermark write only loses the
+// cheap introspection copy; the world META is authoritative and the
+// watermark is rewritten at the next commit.
+//
+// Damage in the archive never stops ingest: torn or corrupt sections are
+// quarantined (dataset.TailArchive) and counted, and an archive that
+// shrank — rotation or operator intervention — resets the daemon to a
+// clean full re-ingest.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"securepki.org/registrarsec/internal/colstore"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// META keys carrying the ingest cursor inside the world file.
+const (
+	metaOffset      = "ingest_offset"
+	metaSections    = "ingest_sections"
+	metaQuarantined = "ingest_quarantined"
+	metaLastDay     = "ingest_last_day"
+)
+
+// runTailer is the supervised ingest component.
+func (s *Server) runTailer(ctx context.Context) error {
+	if err := s.resumeOnce(); err != nil {
+		return err
+	}
+	interval := s.cfg.PollInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if err := s.pollOnce(); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// resumeOnce restores the committed world and cursor, exactly once per
+// process. The world file is loaded (mmap where possible), deep-copied
+// into a fresh ingester, and closed again before any reader can hold it —
+// the served indexes are always heap-backed frozen views.
+func (s *Server) resumeOnce() error {
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	if s.ing != nil {
+		return nil
+	}
+	ing := colstore.NewIngester()
+	wm := Watermark{}
+	lastDay := simtime.Never
+
+	idx, meta, err := colstore.Load(s.cfg.WorldPath)
+	switch {
+	case err == nil:
+		resumed, metaWM, day, rerr := resumeFromWorld(idx, meta)
+		closeErr := idx.Close()
+		switch {
+		case rerr != nil:
+			s.logf("apiserv: world %s is not resumable (%v); re-ingesting from scratch", s.cfg.WorldPath, rerr)
+		case closeErr != nil:
+			return closeErr
+		default:
+			ing, wm, lastDay = resumed, metaWM, day
+			// The watermark is the non-authoritative copy: cross-check it
+			// against the world META and warn when they diverge (swapped
+			// or hand-edited files).
+			if disk, err := ReadWatermark(s.watermarkPath()); err != nil {
+				s.logf("apiserv: %v (world META wins)", err)
+			} else if disk != nil && *disk != sealedCopy(wm) {
+				s.logf("apiserv: watermark %s disagrees with world META (offset %d vs %d); world META wins",
+					s.watermarkPath(), disk.Offset, wm.Offset)
+			}
+			s.logf("apiserv: resumed world %s: %d domain(s), %d section(s), offset %d",
+				s.cfg.WorldPath, ing.Len(), wm.Sections, wm.Offset)
+		}
+	case os.IsNotExist(err):
+		// First boot: empty world, ingest everything.
+	default:
+		s.logf("apiserv: cannot load world %s (%v); re-ingesting from scratch", s.cfg.WorldPath, err)
+	}
+
+	s.ing = ing
+	s.wm = wm
+	s.lastDay = lastDay
+	s.pending = 0
+	s.publish(s.ing.Freeze(), lastDay)
+	return nil
+}
+
+// resumeFromWorld reconstructs the ingester and cursor from a loaded
+// world file.
+func resumeFromWorld(idx *colstore.Index, meta map[string]string) (*colstore.Ingester, Watermark, simtime.Day, error) {
+	var wm Watermark
+	offset, err := strconv.ParseInt(meta[metaOffset], 10, 64)
+	if err != nil || offset < 0 {
+		return nil, wm, 0, fmt.Errorf("bad %s %q", metaOffset, meta[metaOffset])
+	}
+	sections, err := strconv.Atoi(meta[metaSections])
+	if err != nil || sections < 0 {
+		return nil, wm, 0, fmt.Errorf("bad %s %q", metaSections, meta[metaSections])
+	}
+	quarantined, err := strconv.Atoi(meta[metaQuarantined])
+	if err != nil || quarantined < 0 {
+		return nil, wm, 0, fmt.Errorf("bad %s %q", metaQuarantined, meta[metaQuarantined])
+	}
+	lastDay := simtime.Never
+	if raw := meta[metaLastDay]; raw != "" {
+		if lastDay, err = simtime.Parse(raw); err != nil {
+			return nil, wm, 0, fmt.Errorf("bad %s %q", metaLastDay, raw)
+		}
+	}
+	ing, err := colstore.NewIngesterFromIndex(idx)
+	if err != nil {
+		return nil, wm, 0, err
+	}
+	wm = Watermark{Offset: offset, Sections: sections, Quarantined: quarantined, LastDay: lastDayString(lastDay)}
+	return ing, wm, lastDay, nil
+}
+
+// pollOnce consumes whatever complete tail events have appeared since the
+// committed offset, committing every CommitEvery events and once more at
+// the end of the batch.
+func (s *Server) pollOnce() error {
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+
+	res, err := dataset.TailArchive(s.cfg.ArchivePath, s.wm.Offset)
+	if errors.Is(err, dataset.ErrTailTruncated) {
+		// The archive was rotated or rewritten underneath us: drop
+		// everything, commit the empty state, and re-ingest the new file
+		// from the top within this same poll.
+		s.logf("apiserv: %v; resetting to a full re-ingest", err)
+		s.ing = colstore.NewIngester()
+		s.wm = Watermark{}
+		s.lastDay = simtime.Never
+		s.pending = 0
+		if err := s.commitLocked(); err != nil {
+			return err
+		}
+		res, err = dataset.TailArchive(s.cfg.ArchivePath, 0)
+	}
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		s.markPolled()
+		return nil
+	default:
+		return err
+	}
+
+	commitEvery := s.cfg.CommitEvery
+	if commitEvery <= 0 {
+		commitEvery = 1
+	}
+	for _, ev := range res.Events {
+		if ev.Damage != nil {
+			s.logf("apiserv: archive damage quarantined: %s", ev.Damage.String())
+			s.wm.Quarantined++
+		} else {
+			skipped, err := s.ing.AppendDay(ev.Snap)
+			if err != nil {
+				return err
+			}
+			if skipped > 0 {
+				s.logf("apiserv: day %s: %d failed record(s) skipped", ev.Snap.Day, skipped)
+			}
+			s.wm.Sections++
+			s.lastDay = ev.Snap.Day
+			s.wm.LastDay = lastDayString(s.lastDay)
+		}
+		s.wm.Offset = ev.End
+		s.pending++
+		if s.pending >= commitEvery {
+			if err := s.commitLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	// Trailing blank lines advance the offset without an event; fold them
+	// into a final commit along with any uncommitted remainder.
+	if s.pending > 0 || res.Offset != s.wm.Offset {
+		s.wm.Offset = res.Offset
+		if err := s.commitLocked(); err != nil {
+			return err
+		}
+	}
+	s.markPolled()
+	return nil
+}
+
+// commitLocked publishes and persists the current ingest state. Caller
+// holds ingMu.
+func (s *Server) commitLocked() error {
+	idx := s.ing.Freeze()
+	s.publish(idx, s.lastDay)
+	meta := map[string]string{
+		metaOffset:      strconv.FormatInt(s.wm.Offset, 10),
+		metaSections:    strconv.Itoa(s.wm.Sections),
+		metaQuarantined: strconv.Itoa(s.wm.Quarantined),
+		metaLastDay:     s.wm.LastDay,
+	}
+	if err := idx.SaveFile(s.cfg.WorldPath, meta); err != nil {
+		return err
+	}
+	if err := s.wm.WriteFile(s.watermarkPath()); err != nil {
+		return err
+	}
+	s.pending = 0
+	return nil
+}
+
+// sealedCopy returns wm with its CRC populated, for comparison against a
+// watermark read back from disk.
+func sealedCopy(wm Watermark) Watermark {
+	if sum, err := wm.sum(); err == nil {
+		wm.CRC = sum
+	}
+	return wm
+}

@@ -115,6 +115,7 @@ func (x *Index) countRange(lo, hi int, d int32, c Class, tldMask []bool, counts 
 // analysis.CountByOperator over the materialized snapshot, without the
 // snapshot or the string-keyed map.
 func (x *Index) CountByOperator(day simtime.Day, c Class, tlds ...string) []analysis.OperatorCount {
+	x.mustOpen()
 	counts := x.operatorCounts(clampDay(day), c, x.tldMask(tlds))
 	out := make([]analysis.OperatorCount, 0, len(counts))
 	for id, n := range counts {
@@ -158,6 +159,7 @@ func (x *Index) OperatorCDF(day simtime.Day, c Class, tlds ...string) []analysis
 // identical to analysis.Overview over the materialized snapshot. The scan
 // shards across workers, each tallying four counters per requested TLD.
 func (x *Index) Overview(day simtime.Day, tlds []string) []analysis.TLDOverview {
+	x.mustOpen()
 	d := clampDay(day)
 	// Dense row index per interned TLD; -1 for TLDs not requested.
 	rowOf := make([]int, len(x.tlds))
@@ -233,6 +235,7 @@ func (x *Index) Overview(day simtime.Day, tlds []string) []analysis.TLDOverview 
 // DSGapPct computes the share of DNSKEY-publishing domains without a DS at
 // the given day — analysis.DSGapPct over the columns.
 func (x *Index) DSGapPct(day simtime.Day, tlds ...string) float64 {
+	x.mustOpen()
 	d := clampDay(day)
 	tldMask := x.tldMask(tlds)
 	keyed, gap := 0, 0

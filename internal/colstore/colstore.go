@@ -26,13 +26,24 @@
 package colstore
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"securepki.org/registrarsec/internal/analysis"
 	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/simtime"
 )
+
+// ErrClosed reports use of an Index after Close released its memory
+// mapping. The context-aware query variants (SnapshotCtx, SeriesCtx,
+// MaterializeCtx) and Save return it; the legacy error-free variants
+// panic with a pointed message instead, since reading an unmapped column
+// would otherwise fault the whole process.
+var ErrClosed = errors.New("colstore: index is closed")
 
 // never mirrors simtime.Never in the int32 day columns (1<<30 fits).
 const never = int32(simtime.Never)
@@ -267,6 +278,10 @@ type Index struct {
 
 	// mapped is the mmap'd file backing a zero-copy Load; Close unmaps it.
 	mapped []byte
+	// closed latches after Close: a long-running daemon cycling worlds
+	// across cache refreshes must get a pointed error (or panic) from a
+	// use-after-Close, never a fault from reading unmapped memory.
+	closed atomic.Bool
 
 	// Materialized-view cache: the most recently projected days, shared
 	// across callers. Projecting a day costs a full population pass and
@@ -291,10 +306,18 @@ func (x *Index) Len() int { return x.n }
 // Operators returns the number of distinct operators.
 func (x *Index) Operators() int { return len(x.ops) }
 
+// TLDs returns the interned TLD names in first-occurrence order, copied
+// out of the index so the caller may hold them past Close.
+func (x *Index) TLDs() []string {
+	x.mustOpen()
+	return append([]string(nil), x.tlds...)
+}
+
 // Row projects domain i back into its ingest form — the inverse of
 // Builder.Add. Day sentinels round-trip (never → simtime.Never); fullDay
 // is derived state and needs no inverse.
 func (x *Index) Row(i int) Domain {
+	x.mustOpen()
 	toDay := func(v int32) simtime.Day {
 		if v == never {
 			return simtime.Never
@@ -316,15 +339,32 @@ func (x *Index) Row(i int) Domain {
 }
 
 // Close releases the memory mapping of a zero-copy loaded index. After
-// Close every string and column view into the mapping is invalid; it is a
-// no-op for indexes built in memory.
+// Close every string and column view into the mapping is invalid: queries
+// through the context-aware variants return ErrClosed, the legacy
+// error-free variants panic with a pointed message, and a second Close is
+// itself an error — both are caller lifetime bugs that would otherwise
+// surface as a fault deep inside a column scan. For indexes built in
+// memory Close releases nothing but the misuse contract is identical, so
+// code paths behave the same however their world was constructed.
 func (x *Index) Close() error {
+	if x.closed.Swap(true) {
+		return fmt.Errorf("colstore: Close of already-closed index: %w", ErrClosed)
+	}
 	if x.mapped == nil {
 		return nil
 	}
 	m := x.mapped
 	x.mapped = nil
 	return munmap(m)
+}
+
+// mustOpen guards the legacy error-free query surface against
+// use-after-Close: reading a column of an unmapped world is a process
+// fault, so misuse dies here with a message that names the bug instead.
+func (x *Index) mustOpen() {
+	if x.closed.Load() {
+		panic("colstore: use of closed Index: Close already released its backing; keep the world open for the lifetime of its queries (or use the Ctx variants, which return ErrClosed)")
+	}
 }
 
 // snapCacheSize bounds the materialized-view cache (MRU first).
@@ -340,6 +380,19 @@ const snapCacheSize = 2
 // read-only (in particular, do not Canonicalize it). Use Materialize for
 // a private copy.
 func (x *Index) Snapshot(day simtime.Day) *dataset.Snapshot {
+	x.mustOpen()
+	snap, _ := x.SnapshotCtx(context.Background(), day)
+	return snap
+}
+
+// SnapshotCtx is Snapshot with cancellation: a dropped request stops the
+// population pass mid-scan instead of burning a full projection, and a
+// closed index answers ErrClosed instead of faulting. The cache hit path
+// never blocks on the context.
+func (x *Index) SnapshotCtx(ctx context.Context, day simtime.Day) (*dataset.Snapshot, error) {
+	if x.closed.Load() {
+		return nil, ErrClosed
+	}
 	x.snapMu.Lock()
 	defer x.snapMu.Unlock()
 	for i, snap := range x.snapCache {
@@ -347,22 +400,50 @@ func (x *Index) Snapshot(day simtime.Day) *dataset.Snapshot {
 			// Move to front so the working set's days stay resident.
 			copy(x.snapCache[1:i+1], x.snapCache[:i])
 			x.snapCache[0] = snap
-			return snap
+			return snap, nil
 		}
 	}
-	snap := x.Materialize(day)
+	snap, err := x.materializeCtx(ctx, day)
+	if err != nil {
+		return nil, err
+	}
 	copy(x.snapCache[1:], x.snapCache[:snapCacheSize-1])
 	x.snapCache[0] = snap
-	return snap
+	return snap, nil
 }
 
 // Materialize projects the population at one day into a freshly allocated
 // snapshot the caller owns, bypassing the shared-view cache.
 func (x *Index) Materialize(day simtime.Day) *dataset.Snapshot {
+	x.mustOpen()
+	snap, _ := x.materializeCtx(context.Background(), day)
+	return snap
+}
+
+// MaterializeCtx is Materialize with cancellation and ErrClosed
+// reporting, for callers serving interactive requests off a long-lived
+// world.
+func (x *Index) MaterializeCtx(ctx context.Context, day simtime.Day) (*dataset.Snapshot, error) {
+	if x.closed.Load() {
+		return nil, ErrClosed
+	}
+	return x.materializeCtx(ctx, day)
+}
+
+// cancelStride is how many rows (or series steps) a cancellable scan
+// processes between context polls: small enough that a dropped request
+// stops burning CPU within microseconds, large enough that the poll is
+// invisible in throughput.
+const cancelStride = 32 << 10
+
+func (x *Index) materializeCtx(ctx context.Context, day simtime.Day) (*dataset.Snapshot, error) {
 	x.ensureTemplate()
 	recs := make([]dataset.Record, x.n)
 	d := clampDay(day)
 	for i := range recs {
+		if i%cancelStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		r := x.template[i]
 		if x.keyDay[i] <= d {
 			r.HasDNSKEY = true
@@ -376,7 +457,7 @@ func (x *Index) Materialize(day simtime.Day) *dataset.Snapshot {
 		}
 		recs[i] = r
 	}
-	return &dataset.Snapshot{Day: day, Records: recs}
+	return &dataset.Snapshot{Day: day, Records: recs}, nil
 }
 
 // Series computes the daily deployment series for one operator (all its
@@ -385,6 +466,18 @@ func (x *Index) Materialize(day simtime.Day) *dataset.Snapshot {
 // population. Unknown operators/TLDs yield all-zero points, matching the
 // legacy scan.
 func (x *Index) Series(operator, tld string, from, to simtime.Day, stepDays int) []analysis.SeriesPoint {
+	x.mustOpen()
+	out, _ := x.SeriesCtx(context.Background(), operator, tld, from, to, stepDays)
+	return out
+}
+
+// SeriesCtx is Series with cancellation: the day sweep polls the context
+// every cancelStride steps, so an API request dropped mid-series stops
+// paying for the rest of the range, and a closed index answers ErrClosed.
+func (x *Index) SeriesCtx(ctx context.Context, operator, tld string, from, to simtime.Day, stepDays int) ([]analysis.SeriesPoint, error) {
+	if x.closed.Load() {
+		return nil, ErrClosed
+	}
 	if stepDays <= 0 {
 		stepDays = 1
 	}
@@ -419,7 +512,12 @@ func (x *Index) Series(operator, tld string, from, to simtime.Day, stepDays int)
 	// Each cursor only ever advances, so the whole sweep touches every
 	// event at most once regardless of the day range.
 	withKey, withDS, full := 0, 0, 0
+	steps := 0
 	for day := from; day <= to; day += simtime.Day(stepDays) {
+		if steps%cancelStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		steps++
 		d := clampDay(day)
 		for i := range curs {
 			c := &curs[i]
@@ -445,7 +543,7 @@ func (x *Index) Series(operator, tld string, from, to simtime.Day, stepDays int)
 			Full:       full,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // clampDay converts a simtime.Day to the int32 column domain. Days at or
@@ -473,6 +571,7 @@ func (x *Index) DNSKEYByRegistrar(day simtime.Day, tlds ...string) map[string]in
 // registrarCounts is the shared dense tally: keyedBy==never counts every
 // domain, otherwise only those with keyDay <= keyedBy.
 func (x *Index) registrarCounts(keyedBy int32, tlds []string) map[string]int {
+	x.mustOpen()
 	tldMask := x.tldMask(tlds)
 	counts := make([]int32, len(x.regs))
 	for i := 0; i < x.n; i++ {

@@ -1,0 +1,298 @@
+package colstore
+
+// Incremental ingest: the observatory path that grows a columnar world
+// from observed daily snapshots, one archive section at a time, without
+// ever rebuilding from scratch.
+//
+// The Builder/Shard constructors ingest *domain histories* (each row
+// already knows its KeyDay/DSDay); an Ingester instead consumes what a
+// long-running measurement actually produces — per-day observation
+// snapshots — and derives the event columns on the fly:
+//
+//   - a domain's row is created the first day it is observed (Created);
+//   - KeyDay / DSDay are the first observed days with a DNSKEY / DS;
+//   - the breakage flags are latched from the most recent measured
+//     observation (a chain that starts validating clears flagBroken);
+//   - Failed placeholder records are skipped: "could not measure" never
+//     creates or mutates a row.
+//
+// The resulting state is a pure function of the sequence of ingested
+// sections. That purity is the crash-safety contract: persist the frozen
+// index after a section prefix, reload it with NewIngesterFromIndex after
+// a SIGKILL, replay the remaining sections, and the final index is
+// byte-identical to a clean single-pass ingest (the apiserv chaos harness
+// holds this as its oracle). Re-ingesting an identical section is
+// idempotent for the same reason.
+//
+// An Ingester is not safe for concurrent use; the daemon's tailer owns it
+// on one goroutine and publishes read-only views with Freeze.
+
+import (
+	"fmt"
+	"strings"
+
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// Ingester accumulates observed daily snapshots into mutable columns and
+// freezes read-only Index views on demand.
+type Ingester struct {
+	rows map[string]int // domain name → row
+
+	names   []string
+	opID    []uint32
+	tldID   []uint16
+	regID   []uint32
+	created []int32
+	keyDay  []int32
+	dsDay   []int32
+	fullDay []int32
+	flags   []uint8
+
+	// Intern tables in first-occurrence order. Scan records carry no
+	// registrar identity, so ingested rows all intern the empty registrar
+	// (which every registrar aggregation already excludes).
+	ops  []string
+	opNS []string
+	tlds []string
+	regs []string
+
+	opIDs  map[string]uint32
+	tldIDs map[string]uint16
+	regIDs map[string]uint32
+
+	days    int         // sections ingested by this Ingester instance
+	lastDay simtime.Day // day of the most recent ingested section
+}
+
+// NewIngester returns an empty ingester.
+func NewIngester() *Ingester {
+	return &Ingester{
+		rows:   make(map[string]int),
+		opIDs:  make(map[string]uint32),
+		tldIDs: make(map[string]uint16),
+		regIDs: make(map[string]uint32),
+	}
+}
+
+// NewIngesterFromIndex resumes ingest from a previously frozen and
+// persisted index: every column and string is deep-copied, so the source
+// index — typically an mmap-loaded world file — may be Closed immediately
+// afterwards. The index must have been produced by an Ingester (or be
+// otherwise free of duplicate domain names); a duplicate name is
+// rejected, since ingest addresses rows by name.
+func NewIngesterFromIndex(x *Index) (*Ingester, error) {
+	if x.closed.Load() {
+		return nil, ErrClosed
+	}
+	g := NewIngester()
+	n := x.n
+	g.names = make([]string, n)
+	g.rows = make(map[string]int, n)
+	for i, name := range x.names {
+		name = strings.Clone(name)
+		g.names[i] = name
+		if prev, dup := g.rows[name]; dup {
+			return nil, fmt.Errorf("colstore: cannot resume ingest: rows %d and %d are both domain %q", prev, i, name)
+		}
+		g.rows[name] = i
+	}
+	g.opID = append([]uint32(nil), x.opID...)
+	g.tldID = append([]uint16(nil), x.tldID...)
+	g.regID = append([]uint32(nil), x.regID...)
+	g.created = append([]int32(nil), x.created...)
+	g.keyDay = append([]int32(nil), x.keyDay...)
+	g.dsDay = append([]int32(nil), x.dsDay...)
+	g.fullDay = append([]int32(nil), x.fullDay...)
+	g.flags = append([]uint8(nil), x.flags...)
+
+	g.ops = make([]string, len(x.ops))
+	g.opNS = make([]string, len(x.ops))
+	for i, op := range x.ops {
+		op = strings.Clone(op)
+		g.ops[i] = op
+		g.opNS[i] = strings.Clone(x.opNS[i][0])
+		g.opIDs[op] = uint32(i)
+	}
+	g.tlds = make([]string, len(x.tlds))
+	for i, tld := range x.tlds {
+		tld = strings.Clone(tld)
+		g.tlds[i] = tld
+		g.tldIDs[tld] = uint16(i)
+	}
+	g.regs = make([]string, len(x.regs))
+	for i, reg := range x.regs {
+		reg = strings.Clone(reg)
+		g.regs[i] = reg
+		g.regIDs[reg] = uint32(i)
+	}
+	return g, nil
+}
+
+// Len returns the current domain population.
+func (g *Ingester) Len() int { return len(g.names) }
+
+// Days returns how many sections this instance has ingested (resumed
+// history is accounted by the caller's watermark, not here).
+func (g *Ingester) Days() int { return g.days }
+
+// LastDay returns the day of the most recently ingested section, or
+// simtime.Never before the first.
+func (g *Ingester) LastDay() simtime.Day {
+	if g.days == 0 {
+		return simtime.Never
+	}
+	return g.lastDay
+}
+
+// AppendDay folds one observed snapshot into the columns — the
+// incremental alternative to rebuilding the world from the full archive.
+// Sections may arrive in any day order (re-sweeps, backfills); event days
+// record first observation, flags latch the latest. Failed records are
+// skipped and counted in the return value.
+func (g *Ingester) AppendDay(snap *dataset.Snapshot) (skipped int, err error) {
+	day := clampDay(snap.Day)
+	for i := range snap.Records {
+		rec := &snap.Records[i]
+		if rec.Failed {
+			skipped++
+			continue
+		}
+		row, ok := g.rows[rec.Domain]
+		if !ok {
+			if err := g.appendRow(rec, day); err != nil {
+				return skipped, err
+			}
+			continue
+		}
+		if g.keyDay[row] == never && rec.HasDNSKEY {
+			g.keyDay[row] = day
+		}
+		if g.dsDay[row] == never && rec.HasDS {
+			g.dsDay[row] = day
+		}
+		g.flags[row] = observedFlags(rec)
+		g.fullDay[row] = deriveFullDay(g.keyDay[row], g.dsDay[row], g.flags[row])
+	}
+	g.days++
+	g.lastDay = snap.Day
+	return skipped, nil
+}
+
+// appendRow creates the row for a domain's first observation.
+func (g *Ingester) appendRow(rec *dataset.Record, day int32) error {
+	op, ok := g.opIDs[rec.Operator]
+	if !ok {
+		op = uint32(len(g.ops))
+		g.opIDs[rec.Operator] = op
+		g.ops = append(g.ops, rec.Operator)
+		host := ""
+		if len(rec.NSHosts) > 0 {
+			host = rec.NSHosts[0]
+		}
+		g.opNS = append(g.opNS, host)
+	}
+	tld, ok := g.tldIDs[rec.TLD]
+	if !ok {
+		if len(g.tlds) >= 1<<16 {
+			return fmt.Errorf("colstore: ingesting %q would overflow the 16-bit TLD ID column", rec.TLD)
+		}
+		tld = uint16(len(g.tlds))
+		g.tldIDs[rec.TLD] = tld
+		g.tlds = append(g.tlds, rec.TLD)
+	}
+	// Scan records carry no registrar; all ingested rows share the
+	// interned empty registrar.
+	reg, ok := g.regIDs[""]
+	if !ok {
+		reg = uint32(len(g.regs))
+		g.regIDs[""] = reg
+		g.regs = append(g.regs, "")
+	}
+	fl := observedFlags(rec)
+	keyDay, dsDay := never, never
+	if rec.HasDNSKEY {
+		keyDay = day
+	}
+	if rec.HasDS {
+		dsDay = day
+	}
+	g.rows[rec.Domain] = len(g.names)
+	g.names = append(g.names, rec.Domain)
+	g.opID = append(g.opID, op)
+	g.tldID = append(g.tldID, tld)
+	g.regID = append(g.regID, reg)
+	g.created = append(g.created, day)
+	g.keyDay = append(g.keyDay, keyDay)
+	g.dsDay = append(g.dsDay, dsDay)
+	g.fullDay = append(g.fullDay, deriveFullDay(keyDay, dsDay, fl))
+	g.flags = append(g.flags, fl)
+	return nil
+}
+
+// observedFlags infers the breakage flags from one measured observation:
+// a DS that validates nothing is a broken chain, a DNSKEY without a
+// verifying RRSIG is an expired/absent signature. Absence of the
+// prerequisite (no DS, no DNSKEY) infers nothing.
+func observedFlags(rec *dataset.Record) uint8 {
+	var fl uint8
+	if rec.HasDS && !rec.ChainValid {
+		fl |= flagBroken
+	}
+	if rec.HasDNSKEY && !rec.HasRRSIG {
+		fl |= flagExpired
+	}
+	return fl
+}
+
+// deriveFullDay mirrors Builder.Add's fullDay derivation over the mutable
+// ingest columns (see the comment there for the sentinel semantics).
+func deriveFullDay(keyDay, dsDay int32, fl uint8) int32 {
+	if fl != 0 {
+		return impossible
+	}
+	full := keyDay
+	if dsDay > full {
+		full = dsDay
+	}
+	return full
+}
+
+// Freeze publishes the current state as a frozen Index safe for
+// concurrent readers while ingest continues. The mutable columns (event
+// days, flags) are copied; the append-only columns and intern tables are
+// shared by bounded re-slice, so a freeze costs ~13 bytes per domain plus
+// the finish() group derivation. The returned index serves queries,
+// Save/SaveFile persistence, and — via NewIngesterFromIndex — resume.
+func (g *Ingester) Freeze() *Index {
+	n := len(g.names)
+	x := &Index{
+		names:   g.names[:n:n],
+		opID:    g.opID[:n:n],
+		tldID:   g.tldID[:n:n],
+		regID:   g.regID[:n:n],
+		created: g.created[:n:n],
+		keyDay:  append([]int32(nil), g.keyDay...),
+		dsDay:   append([]int32(nil), g.dsDay...),
+		fullDay: append([]int32(nil), g.fullDay...),
+		flags:   append([]uint8(nil), g.flags...),
+		ops:     g.ops[:len(g.ops):len(g.ops)],
+		tlds:    g.tlds[:len(g.tlds):len(g.tlds)],
+		regs:    g.regs[:len(g.regs):len(g.regs)],
+		opIDs:   make(map[string]uint32, len(g.ops)),
+		tldIDs:  make(map[string]uint16, len(g.tlds)),
+	}
+	x.opNS = make([][]string, len(g.opNS))
+	for i, host := range g.opNS {
+		x.opNS[i] = []string{host}
+	}
+	for i, op := range x.ops {
+		x.opIDs[op] = uint32(i)
+	}
+	for i, tld := range x.tlds {
+		x.tldIDs[tld] = uint16(i)
+	}
+	x.finish()
+	return x
+}

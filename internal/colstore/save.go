@@ -86,6 +86,9 @@ var worldCRC = crc32.MakeTable(crc32.Castagnoli)
 // keys must not contain '=' or newlines, values must not contain
 // newlines.
 func (x *Index) Save(w io.Writer, meta map[string]string) error {
+	if x.closed.Load() {
+		return ErrClosed
+	}
 	metaPayload, err := encodeMeta(meta)
 	if err != nil {
 		return err

@@ -276,6 +276,19 @@ func ReadArchive(r io.Reader) (*Store, *ArchiveReport, error) {
 // trailer line, returning "" when the section is intact or the reason it
 // must be quarantined.
 func verifyTrailer(cur *section, fields []string, full bool, store *Store) string {
+	if reason := checkTrailer(cur, fields, full); reason != "" {
+		return reason
+	}
+	if store.Get(cur.parsed) != nil {
+		return "duplicate snapshot day"
+	}
+	return ""
+}
+
+// checkTrailer is verifyTrailer minus the store-level duplicate-day check:
+// the integrity of one section in isolation, shared with the tail scanner
+// (whose duplicate policy is the ingester's idempotency, not a store).
+func checkTrailer(cur *section, fields []string, full bool) string {
 	if cur.bad != "" {
 		return cur.bad
 	}
@@ -301,9 +314,6 @@ func verifyTrailer(cur *section, fields []string, full bool, store *Store) strin
 	}
 	if cur.declared >= 0 && cur.declared != len(cur.snap.Records) {
 		return fmt.Sprintf("record count mismatch: header declares %d, found %d", cur.declared, len(cur.snap.Records))
-	}
-	if store.Get(cur.parsed) != nil {
-		return "duplicate snapshot day"
 	}
 	return ""
 }

@@ -1,0 +1,232 @@
+package dataset
+
+// Incremental archive tailing: the always-on observatory re-reads only
+// the archive's growing tail, not the whole file, and must distinguish
+// three tail states a batch reader never sees:
+//
+//   - a complete, verified section → consume it and advance the offset;
+//   - damage that is *final* — a section whose trailer fails
+//     verification, or a torn/stray run superseded by a newer section
+//     header → quarantine and consume;
+//   - a trailing section (or stray run) nothing has superseded yet →
+//     possibly still being appended: leave it unconsumed and re-examine
+//     on the next poll.
+//
+// The scan yields an ordered event list, each event carrying the exact
+// resume offset after consuming it. Consumers that persist their cursor
+// commit only at event boundaries (or at Offset, past any trailing blank
+// lines), which makes the consumed state a pure function of the archive
+// prefix before the cursor — the same purity that makes colstore ingest
+// crash-safe: however a run of polls is interrupted and resumed, the
+// sequence of events before any committed offset is identical to a
+// single clean scan. A partial final line is never consumed (the writer
+// may be mid-write), and blank lines between sections are consumed
+// silently, mirroring ReadArchive's salvage semantics.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ErrTailTruncated reports that the archive is now smaller than the
+// resume offset: it was rewritten or rotated underneath the tailer, and
+// the caller must reset to a full re-ingest rather than resume.
+var ErrTailTruncated = errors.New("dataset: archive shrank below the resume offset")
+
+// TailEvent is one consumed outcome: exactly one of Snap and Damage is
+// non-nil.
+type TailEvent struct {
+	// Snap is a verified section's snapshot.
+	Snap *Snapshot
+	// Damage describes a quarantined section or stray run. Line numbers
+	// are 1-based within this scan's window, not the whole file.
+	Damage *Corruption
+	// End is the absolute archive offset just past this event: resuming
+	// a scan there yields exactly the events after this one.
+	End int64
+}
+
+// TailResult is the outcome of one tail scan.
+type TailResult struct {
+	// Events lists everything consumed, in file order. Day-level
+	// deduplication is deliberately not applied here; the consumer's
+	// ingest is idempotent per day.
+	Events []TailEvent
+	// Offset is the absolute resume offset: at least the last event's
+	// End, plus any trailing blank lines. Every byte before it has been
+	// consumed, every byte after it has not.
+	Offset int64
+}
+
+// Snapshots returns the verified sections, in file order.
+func (r *TailResult) Snapshots() []*Snapshot {
+	var out []*Snapshot
+	for _, ev := range r.Events {
+		if ev.Snap != nil {
+			out = append(out, ev.Snap)
+		}
+	}
+	return out
+}
+
+// Quarantined returns the damage entries, in file order.
+func (r *TailResult) Quarantined() []Corruption {
+	var out []Corruption
+	for _, ev := range r.Events {
+		if ev.Damage != nil {
+			out = append(out, *ev.Damage)
+		}
+	}
+	return out
+}
+
+// TailArchive scans path's bytes from offset `from` (the Offset or an
+// event End of a previous scan, 0 for a fresh start) and returns whatever
+// complete sections have appeared since. An archive smaller than `from`
+// returns ErrTailTruncated.
+func TailArchive(path string, from int64) (*TailResult, error) {
+	if from < 0 {
+		return nil, fmt.Errorf("dataset: negative tail offset %d", from)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < from {
+		return nil, fmt.Errorf("%w: offset %d, archive is %d bytes", ErrTailTruncated, from, st.Size())
+	}
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	res := scanTail(data)
+	for i := range res.Events {
+		res.Events[i].End += from
+	}
+	res.Offset += from
+	return res, nil
+}
+
+// scanTail walks one window of archive bytes and decides, line by line,
+// what is consumable. Offsets in the result are relative to the window.
+func scanTail(data []byte) *TailResult {
+	res := &TailResult{}
+	var (
+		cur      *section // open snapshot section, nil otherwise
+		strayLn  int      // first line of an open stray run, 0 otherwise
+		consumed int
+		lineNo   int
+		off      int
+	)
+	emit := func(ev TailEvent, end int) {
+		ev.End = int64(end)
+		res.Events = append(res.Events, ev)
+		consumed = end
+	}
+	// closeStray finalizes an open stray run: it has been superseded by
+	// end (the start of a new section header), so the damage is final.
+	closeStray := func(end int) {
+		if strayLn > 0 {
+			emit(TailEvent{Damage: &Corruption{Line: strayLn, Reason: "records outside any section"}}, end)
+			strayLn = 0
+		}
+	}
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		full := nl >= 0
+		lineEnd := len(data)
+		if full {
+			lineEnd = off + nl + 1
+		}
+		line := string(data[off:lineEnd])
+		lineNo++
+		text := strings.TrimSuffix(line, "\n")
+		fields := strings.Split(text, "\t")
+
+		switch {
+		case !full:
+			// A line still being written: nothing from here on is
+			// decidable yet.
+			res.Offset = int64(consumed)
+			return res
+
+		case fields[0] == tsvHeader:
+			closeStray(off)
+			if cur != nil {
+				// The writer started a new section without closing the
+				// previous one — that tear is final.
+				emit(TailEvent{Damage: &Corruption{
+					Day: cur.day, Line: cur.headerLn, Reason: "missing trailer (torn write)"}}, off)
+			}
+			cur = &section{headerLn: lineNo, declared: -1}
+			cur.raw.WriteString(line)
+			if len(fields) >= 2 {
+				cur.day = fields[1]
+			}
+			day, declared, err := parseSnapshotHeader(fields)
+			if err != nil {
+				cur.bad = fmt.Sprintf("bad header: %v", err)
+			} else {
+				cur.parsed, cur.declared = day, declared
+				cur.snap = &Snapshot{Day: day}
+			}
+
+		case cur != nil:
+			if fields[0] == trailerHeader {
+				// The trailer is not part of the checksummed section body.
+				if reason := checkTrailer(cur, fields, true); reason != "" {
+					emit(TailEvent{Damage: &Corruption{Day: cur.day, Line: cur.headerLn, Reason: reason}}, lineEnd)
+				} else {
+					emit(TailEvent{Snap: cur.snap}, lineEnd)
+				}
+				cur = nil
+				break
+			}
+			cur.raw.WriteString(line)
+			if cur.bad != "" {
+				break // keep consuming the damaged section's bytes
+			}
+			if text == "" {
+				cur.bad = "blank line inside section"
+				break
+			}
+			rec, err := parseRecordFields(fields)
+			if err != nil {
+				cur.bad = fmt.Sprintf("line %d: %v", lineNo, err)
+			} else {
+				cur.snap.Records = append(cur.snap.Records, rec)
+			}
+
+		default:
+			// Outside any section: blank lines are consumed silently;
+			// anything else opens (or continues) a stray run that stays
+			// pending until a section header supersedes it.
+			if text == "" && strayLn == 0 {
+				consumed = lineEnd
+			} else if text != "" && strayLn == 0 {
+				strayLn = lineNo
+			}
+		}
+		off = lineEnd
+	}
+	// A trailing open section or stray run has not been superseded — it
+	// may still be growing, so it stays unconsumed for the next poll.
+	res.Offset = int64(consumed)
+	return res
+}
+
+// The trailer line of a section is handled inside the cur != nil branch
+// above; a trailer with no open section is stray bytes by definition and
+// falls into the stray-run handling, same as ReadArchive's orphan case.

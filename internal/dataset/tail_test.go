@@ -1,0 +1,310 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// tailSnap builds a small valid snapshot for archive writing.
+func tailSnap(day simtime.Day, n int) *Snapshot {
+	s := &Snapshot{Day: day}
+	for i := 0; i < n; i++ {
+		s.Records = append(s.Records, Record{
+			Domain: fmt.Sprintf("d%02d-%d.com", i, day), TLD: "com",
+			Operator: "op.example", NSHosts: []string{"ns1.op.example"},
+			HasDNSKEY: i%2 == 0, HasRRSIG: i%2 == 0,
+		})
+	}
+	return s
+}
+
+// sectionBytes renders one trailered section.
+func sectionBytes(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteArchiveSection(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func writeTail(t *testing.T, path string, chunks ...[]byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, c := range chunks {
+		if _, err := f.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTailConsumesCompleteSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.archive")
+	s1, s2 := sectionBytes(t, tailSnap(10, 3)), sectionBytes(t, tailSnap(11, 2))
+	writeTail(t, path, s1, s2)
+
+	res, err := TailArchive(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots()) != 2 || len(res.Quarantined()) != 0 {
+		t.Fatalf("got %d snapshots, %d quarantined, want 2/0", len(res.Snapshots()), len(res.Quarantined()))
+	}
+	if res.Snapshots()[0].Day != 10 || res.Snapshots()[1].Day != 11 {
+		t.Fatalf("days %v/%v, want 10/11", res.Snapshots()[0].Day, res.Snapshots()[1].Day)
+	}
+	if want := int64(len(s1) + len(s2)); res.Offset != want {
+		t.Fatalf("Offset %d, want %d", res.Offset, want)
+	}
+
+	// A second poll from the resume offset sees nothing new.
+	res2, err := TailArchive(path, res.Offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Snapshots()) != 0 || res2.Offset != res.Offset {
+		t.Fatalf("re-poll consumed %d snapshots, offset %d→%d", len(res2.Snapshots()), res.Offset, res2.Offset)
+	}
+}
+
+// TestTailLeavesGrowingSection: a trailing section with no trailer yet is
+// not consumed — the writer may still be appending — and is picked up
+// whole once its trailer lands.
+func TestTailLeavesGrowingSection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.archive")
+	s1 := sectionBytes(t, tailSnap(10, 3))
+	s2 := sectionBytes(t, tailSnap(11, 4))
+	for cut := 1; cut < len(s2); cut++ {
+		os.Remove(path)
+		writeTail(t, path, s1, s2[:cut])
+		res, err := TailArchive(path, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Snapshots()) != 1 || len(res.Quarantined()) != 0 {
+			t.Fatalf("cut %d: got %d snapshots, %d quarantined, want 1/0", cut, len(res.Snapshots()), len(res.Quarantined()))
+		}
+		if res.Offset != int64(len(s1)) {
+			t.Fatalf("cut %d: Offset %d, want %d (partial section must stay unconsumed)", cut, res.Offset, len(s1))
+		}
+		// The rest of the section arrives; the next poll consumes it.
+		writeTail(t, path, s2[cut:])
+		res2, err := TailArchive(path, res.Offset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res2.Snapshots()) != 1 || res2.Snapshots()[0].Day != 11 || len(res2.Snapshots()[0].Records) != 4 {
+			t.Fatalf("cut %d: completed section not consumed on re-poll: %+v", cut, res2)
+		}
+		if res2.Offset != int64(len(s1)+len(s2)) {
+			t.Fatalf("cut %d: final Offset %d, want %d", cut, res2.Offset, len(s1)+len(s2))
+		}
+	}
+}
+
+// TestTailTornSuperseded: a section abandoned without a trailer becomes
+// final damage the moment a newer section header follows it.
+func TestTailTornSuperseded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.archive")
+	s1 := sectionBytes(t, tailSnap(10, 3))
+	torn := s1[:len(s1)/2]
+	if !bytes.HasSuffix(torn, []byte("\n")) {
+		torn = s1[:bytes.LastIndexByte(s1[:len(s1)/2], '\n')+1]
+	}
+	s2 := sectionBytes(t, tailSnap(11, 2))
+	writeTail(t, path, torn, s2)
+
+	res, err := TailArchive(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots()) != 1 || res.Snapshots()[0].Day != 11 {
+		t.Fatalf("snapshots %+v, want just day 11", res.Snapshots())
+	}
+	if len(res.Quarantined()) != 1 || !strings.Contains(res.Quarantined()[0].Reason, "torn") {
+		t.Fatalf("quarantined %+v, want one torn-write entry", res.Quarantined())
+	}
+	if res.Offset != int64(len(torn)+len(s2)) {
+		t.Fatalf("Offset %d, want %d (torn section must be consumed once superseded)", res.Offset, len(torn)+len(s2))
+	}
+}
+
+// TestTailCorruptSection: a section whose bytes no longer hash to its
+// trailer is quarantined and consumed — damage at rest is final.
+func TestTailCorruptSection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.archive")
+	s1 := sectionBytes(t, tailSnap(10, 3))
+	corrupt := append([]byte(nil), s1...)
+	corrupt[bytes.IndexByte(corrupt, '\n')+2] ^= 0x20 // flip a record byte
+	s2 := sectionBytes(t, tailSnap(11, 2))
+	writeTail(t, path, corrupt, s2)
+
+	res, err := TailArchive(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots()) != 1 || res.Snapshots()[0].Day != 11 {
+		t.Fatalf("snapshots %+v, want just day 11", res.Snapshots())
+	}
+	if len(res.Quarantined()) != 1 {
+		t.Fatalf("quarantined %+v, want one entry", res.Quarantined())
+	}
+	if res.Offset != int64(len(corrupt)+len(s2)) {
+		t.Fatalf("Offset %d, want %d", res.Offset, len(corrupt)+len(s2))
+	}
+}
+
+// TestTailStrayBytes: garbage between sections is consumed and reported
+// once, and the sections around it still verify.
+func TestTailStrayBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.archive")
+	s1 := sectionBytes(t, tailSnap(10, 2))
+	stray := []byte("not\ta\trecord\nmore junk\n\n")
+	s2 := sectionBytes(t, tailSnap(11, 2))
+	writeTail(t, path, s1, stray, s2)
+
+	res, err := TailArchive(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots()) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(res.Snapshots()))
+	}
+	if len(res.Quarantined()) != 1 {
+		t.Fatalf("quarantined %+v, want one stray-run entry", res.Quarantined())
+	}
+	if res.Offset != int64(len(s1)+len(stray)+len(s2)) {
+		t.Fatalf("Offset %d, want %d", res.Offset, len(s1)+len(stray)+len(s2))
+	}
+}
+
+// TestTailTruncatedArchive: an archive smaller than the resume offset is
+// a rotation/rewrite, not a tail — the caller must reset.
+func TestTailTruncatedArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.archive")
+	writeTail(t, path, sectionBytes(t, tailSnap(10, 2)))
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TailArchive(path, st.Size()+1); !errors.Is(err, ErrTailTruncated) {
+		t.Fatalf("TailArchive past EOF = %v, want ErrTailTruncated", err)
+	}
+	if _, err := TailArchive(path, -1); err == nil {
+		t.Fatal("negative offset should error")
+	}
+}
+
+// TestTailMatchesReadArchive: over a finished archive (mixed damage, no
+// open tail) the tail scanner and the batch salvage reader agree on what
+// is intact and what is quarantined.
+func TestTailMatchesReadArchive(t *testing.T) {
+	s1 := sectionBytes(t, tailSnap(10, 3))
+	corrupt := append([]byte(nil), sectionBytes(t, tailSnap(11, 2))...)
+	corrupt[bytes.IndexByte(corrupt, '\n')+2] ^= 0x20
+	s3 := sectionBytes(t, tailSnap(12, 1))
+	archive := bytes.Join([][]byte{s1, corrupt, []byte("stray line\n"), s3}, nil)
+
+	path := filepath.Join(t.TempDir(), "a.archive")
+	writeTail(t, path, archive)
+	res, err := TailArchive(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, report, err := ReadArchive(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots()) != len(store.Days()) {
+		t.Fatalf("tail salvaged %d sections, batch reader %d", len(res.Snapshots()), len(store.Days()))
+	}
+	for _, snap := range res.Snapshots() {
+		got := store.Get(snap.Day)
+		if got == nil || len(got.Records) != len(snap.Records) {
+			t.Fatalf("day %v: tail and batch reader disagree", snap.Day)
+		}
+	}
+	if len(res.Quarantined()) != len(report.Quarantined) {
+		t.Fatalf("tail quarantined %d, batch reader %d:\n%v\nvs\n%v",
+			len(res.Quarantined()), len(report.Quarantined), res.Quarantined(), report.Quarantined)
+	}
+	if res.Offset != int64(len(archive)) {
+		t.Fatalf("Offset %d, want %d", res.Offset, len(archive))
+	}
+}
+
+// TestTailStrayAtEOFStaysPending: a stray run nothing has superseded yet
+// must not be consumed — the committed cursor may only cover finalized
+// events, or a resumed scan would double-count the damage.
+func TestTailStrayAtEOFStaysPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.archive")
+	s1 := sectionBytes(t, tailSnap(10, 2))
+	writeTail(t, path, s1, []byte("junk line\n"))
+
+	res, err := TailArchive(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots()) != 1 || len(res.Quarantined()) != 0 {
+		t.Fatalf("got %d snapshots, %d quarantined, want 1/0", len(res.Snapshots()), len(res.Quarantined()))
+	}
+	if res.Offset != int64(len(s1)) {
+		t.Fatalf("Offset %d, want %d (pending stray run must stay unconsumed)", res.Offset, len(s1))
+	}
+	// A section header finalizes the stray run on the next poll.
+	s2 := sectionBytes(t, tailSnap(11, 1))
+	writeTail(t, path, s2)
+	res2, err := TailArchive(path, res.Offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Snapshots()) != 1 || len(res2.Quarantined()) != 1 {
+		t.Fatalf("got %d snapshots, %d quarantined after supersession, want 1/1", len(res2.Snapshots()), len(res2.Quarantined()))
+	}
+}
+
+// TestTailEventOffsetsAreResumePoints: resuming a scan from any event's
+// End yields exactly the events after it — the property that makes a
+// cursor committed mid-batch equivalent to one committed at the end.
+func TestTailEventOffsetsAreResumePoints(t *testing.T) {
+	s1 := sectionBytes(t, tailSnap(10, 2))
+	corrupt := append([]byte(nil), sectionBytes(t, tailSnap(11, 2))...)
+	corrupt[bytes.IndexByte(corrupt, '\n')+2] ^= 0x20
+	s3 := sectionBytes(t, tailSnap(12, 3))
+	path := filepath.Join(t.TempDir(), "a.archive")
+	writeTail(t, path, s1, corrupt, []byte("stray\n"), s3)
+
+	full, err := TailArchive(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Events) != 4 { // s1, corrupt, stray, s3
+		t.Fatalf("got %d events, want 4: %+v", len(full.Events), full.Events)
+	}
+	for i, ev := range full.Events {
+		res, err := TailArchive(path, ev.End)
+		if err != nil {
+			t.Fatalf("resume at event %d (offset %d): %v", i, ev.End, err)
+		}
+		if len(res.Events) != len(full.Events)-i-1 {
+			t.Fatalf("resume at event %d: got %d events, want %d", i, len(res.Events), len(full.Events)-i-1)
+		}
+		for j, got := range res.Events {
+			want := full.Events[i+1+j]
+			if got.End != want.End || (got.Snap == nil) != (want.Snap == nil) {
+				t.Fatalf("resume at event %d, event %d: got %+v, want %+v", i, j, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package httpx holds the hardened http.Server construction shared by the
+// repo's daemons (regsec-api, regsec-sweepd). The zero-value http.Server
+// has no timeouts at all, so a single slow or stalled client connection
+// can pin a handler goroutine — and its open file descriptor — forever;
+// every long-running listener in this repo goes through NewServer so that
+// failure mode is closed off in exactly one place.
+package httpx
+
+import (
+	"net/http"
+	"time"
+)
+
+// The default budgets. They bound a *connection's* bad behavior, not a
+// handler's work: request deadlines and admission control are layered on
+// top by the caller (see apiserv).
+const (
+	// DefaultReadHeaderTimeout caps how long a connection may dribble its
+	// request headers (slowloris).
+	DefaultReadHeaderTimeout = 5 * time.Second
+	// DefaultReadTimeout caps reading one full request.
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultWriteTimeout caps writing one full response to a slow client.
+	DefaultWriteTimeout = 60 * time.Second
+	// DefaultIdleTimeout reaps keep-alive connections parked without a
+	// next request.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultMaxHeaderBytes bounds per-request header memory.
+	DefaultMaxHeaderBytes = 1 << 20
+)
+
+// NewServer returns an http.Server for h with every connection-level
+// timeout set. Callers needing different budgets adjust the returned
+// struct before Serve; leaving any of them unset is the bug this package
+// exists to prevent.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+		MaxHeaderBytes:    DefaultMaxHeaderBytes,
+	}
+}
