@@ -95,6 +95,12 @@ func run() int {
 	apiDomains := flag.Int("api-domains", 3000, "domains per section in the api benchmark")
 	apiReaders := flag.Int("api-readers", 8, "concurrent read workers in the api benchmark")
 	apiRequests := flag.Int("api-requests", 4000, "read requests in the api benchmark")
+	serveOut := flag.String("serve-o", "", "authoritative-serving baseline output path (empty disables)")
+	serveSample := flag.Int("serve-sample", 60, "domains materialized for the serving benchmark")
+	serveRate := flag.Int("serve-rate", 100000, "open-loop offered QPS in the serving benchmark")
+	serveDuration := flag.Duration("serve-duration", 1500*time.Millisecond, "measured window per serving load run")
+	serveMinSpeedup := flag.Float64("serve-min-speedup", 5, "minimum warm-fast-path/seed-path handler speedup (exit 1 below it)")
+	serveMaxAllocs := flag.Int64("serve-max-allocs", 2, "maximum allocations per warm cache-hit query (exit 1 above it)")
 	flag.Parse()
 
 	// The legacy materialized build: its []DomainState is what the
@@ -289,6 +295,20 @@ func run() int {
 			ReadWorkers:   *apiReaders,
 			Requests:      *apiRequests,
 			OutPath:       *apiOut,
+		}); code != 0 {
+			return code
+		}
+	}
+	if *serveOut != "" {
+		if code := runServeBench(world, serveBenchConfig{
+			ScaleDivisor: *scaleDiv,
+			Seed:         *seed,
+			Sample:       *serveSample,
+			Rate:         *serveRate,
+			Duration:     *serveDuration,
+			MinSpeedup:   *serveMinSpeedup,
+			MaxAllocs:    *serveMaxAllocs,
+			OutPath:      *serveOut,
 		}); code != 0 {
 			return code
 		}

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/loadgen"
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/tldsim"
+)
+
+// serveBenchConfig parameterizes the authoritative-serving benchmark.
+type serveBenchConfig struct {
+	ScaleDivisor float64
+	Seed         int64
+	Sample       int
+	Rate         int
+	Duration     time.Duration
+	MinSpeedup   float64
+	MaxAllocs    int64
+	OutPath      string
+}
+
+// serveBaseline is the BENCH_serve.json schema. The handler section is the
+// in-process request path with the network removed — the seed path
+// (Unpack → ServeDNS → Pack) against the warm wire fast path — which is
+// what the speedup and allocation gates run on, because it is deterministic
+// on shared CI runners. The loopback sections drive real sockets with
+// regsec-loadgen: closed-loop sustainable QPS for both server paths, and
+// an open-loop run at a fixed offered rate for honest latency percentiles.
+type serveBaseline struct {
+	Schema       string  `json:"schema"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	ScaleDivisor float64 `json:"scale_divisor"`
+	Seed         int64   `json:"seed"`
+	Sample       int     `json:"sample"`
+	QueryMix     int     `json:"query_mix"`
+
+	LegacyNsPerOp    float64 `json:"legacy_ns_per_op"`
+	LegacyAllocs     int64   `json:"legacy_allocs_per_op"`
+	FastNsPerOp      float64 `json:"fast_ns_per_op"`
+	FastAllocs       int64   `json:"fast_allocs_per_op"`
+	HandlerSpeedup   float64 `json:"handler_speedup"`
+	MinSpeedup       float64 `json:"min_speedup"`
+	MaxAllocsAllowed int64   `json:"max_allocs_allowed"`
+
+	LegacyLoop loadgen.Result        `json:"legacy_closed_loop"`
+	ServerLoop loadgen.Result        `json:"server_closed_loop"`
+	LoopbackX  float64               `json:"loopback_speedup"`
+	OpenLoop   loadgen.Result        `json:"open_loop"`
+	Server     dnsserver.ServerStats `json:"server_stats"`
+	Cache      dnsserver.CacheStats  `json:"cache_stats"`
+}
+
+const serveBaselineSchema = "regsec-bench-serve/1"
+
+// runServeBench measures the serving hot path and writes BENCH_serve.json.
+// It exits nonzero when the warm fast path is less than MinSpeedup times
+// the seed path or allocates more than MaxAllocs per query.
+func runServeBench(world *tldsim.World, cfg serveBenchConfig) int {
+	fmt.Fprintf(os.Stderr, "serve bench: materializing %d domains...\n", cfg.Sample)
+	domains := world.Sample(cfg.Sample, cfg.Seed)
+	mat, err := tldsim.Materialize(simtime.End, domains)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	auth := dnsserver.NewAuthoritative()
+	sharded := dnsserver.NewSharded(dnsserver.ShardedConfig{})
+	for tld, ns := range mat.TLDServers {
+		a, ok := mat.Net.Lookup(ns).(*dnsserver.Authoritative)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "serve bench: no authoritative for %q\n", tld)
+			return 1
+		}
+		z := a.Zone(tld)
+		auth.AddZone(z)
+		sharded.AddZone(z)
+	}
+
+	names := make([]string, 0, 2*len(domains))
+	for _, d := range domains {
+		names = append(names, d.Name, "www."+d.Name)
+	}
+	types := []dnswire.Type{dnswire.TypeNS, dnswire.TypeDS, dnswire.TypeSOA, dnswire.TypeA}
+	mix, err := loadgen.QueryMix(names, types, 0.3, cfg.Seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	b := serveBaseline{
+		Schema:           serveBaselineSchema,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		ScaleDivisor:     cfg.ScaleDivisor,
+		Seed:             cfg.Seed,
+		Sample:           cfg.Sample,
+		QueryMix:         len(mix),
+		MinSpeedup:       cfg.MinSpeedup,
+		MaxAllocsAllowed: cfg.MaxAllocs,
+	}
+
+	// Warm the cache: run every mix packet through the full wire path once,
+	// then confirm the whole mix hits.
+	sc := dnsserver.NewWireScratch()
+	out := make([]byte, 0, 4096)
+	for _, pkt := range mix {
+		if resp := sharded.ServeWireFull(out[:0], pkt, sc, true); resp == nil {
+			fmt.Fprintln(os.Stderr, "serve bench: warmup query failed the full path")
+			return 1
+		}
+	}
+	for _, pkt := range mix {
+		if _, hit := sharded.ServeWireFast(out[:0], pkt, sc); !hit {
+			fmt.Fprintln(os.Stderr, "serve bench: mix query missed the warm cache")
+			return 1
+		}
+	}
+
+	// In-process handler benchmark: seed path vs warm fast path.
+	legacy := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			pkt := mix[i%len(mix)]
+			var q dnswire.Message
+			if err := q.Unpack(pkt); err != nil {
+				tb.Fatal(err)
+			}
+			resp := auth.ServeDNS(&q)
+			if _, err := resp.Pack(); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	})
+	fast := testing.Benchmark(func(tb *testing.B) {
+		sc := dnsserver.NewWireScratch()
+		buf := make([]byte, 0, 4096)
+		tb.ResetTimer()
+		for i := 0; i < tb.N; i++ {
+			var hit bool
+			buf, hit = sharded.ServeWireFast(buf[:0], mix[i%len(mix)], sc)
+			if !hit {
+				tb.Fatal("cache miss on warm mix")
+			}
+		}
+	})
+	b.LegacyNsPerOp = float64(legacy.T.Nanoseconds()) / float64(legacy.N)
+	b.LegacyAllocs = legacy.AllocsPerOp()
+	b.FastNsPerOp = float64(fast.T.Nanoseconds()) / float64(fast.N)
+	b.FastAllocs = fast.AllocsPerOp()
+	if b.FastNsPerOp > 0 {
+		b.HandlerSpeedup = b.LegacyNsPerOp / b.FastNsPerOp
+	}
+	fmt.Fprintf(os.Stderr, "serve bench: handler legacy %.0f ns/op (%d allocs), fast %.0f ns/op (%d allocs), speedup %.1fx\n",
+		b.LegacyNsPerOp, b.LegacyAllocs, b.FastNsPerOp, b.FastAllocs, b.HandlerSpeedup)
+
+	// Loopback closed-loop: both real-server paths under the same client.
+	runLoop := func(handler dnsserver.Handler, legacyPath bool, mode loadgen.Mode, rate int) (loadgen.Result, *dnsserver.Server, error) {
+		srv := &dnsserver.Server{Handler: handler, Legacy: legacyPath}
+		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+			return loadgen.Result{}, nil, err
+		}
+		lcfg := loadgen.Config{
+			Addr:     srv.Addr(),
+			Queries:  mix,
+			Conns:    8,
+			Duration: cfg.Duration,
+			Mode:     mode,
+			Rate:     rate,
+			Seed:     cfg.Seed,
+		}
+		res, err := loadgen.Run(context.Background(), lcfg)
+		return res, srv, err
+	}
+
+	legacyLoop, legacySrv, err := runLoop(auth, true, loadgen.Closed, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	legacySrv.Close()
+	b.LegacyLoop = legacyLoop
+
+	serverLoop, srv, err := runLoop(sharded, false, loadgen.Closed, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	srv.Close()
+	b.ServerLoop = serverLoop
+	if legacyLoop.QPS > 0 {
+		b.LoopbackX = serverLoop.QPS / legacyLoop.QPS
+	}
+	fmt.Fprintf(os.Stderr, "serve bench: loopback closed-loop legacy %.0f qps, server %.0f qps (%.1fx)\n",
+		legacyLoop.QPS, serverLoop.QPS, b.LoopbackX)
+
+	// Open loop at the configured offered rate for honest percentiles.
+	openLoop, srv, err := runLoop(sharded, false, loadgen.Open, cfg.Rate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	b.OpenLoop = openLoop
+	b.Server = srv.Stats()
+	b.Cache = sharded.CacheStats()
+	srv.Close()
+	fmt.Fprintf(os.Stderr, "serve bench: open-loop %.0f qps offered, %.0f achieved, p50=%s p99=%s p999=%s\n",
+		openLoop.OfferedQPS, openLoop.QPS, openLoop.P50, openLoop.P99, openLoop.P999)
+
+	buf, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(cfg.OutPath, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", cfg.OutPath)
+
+	ok := true
+	if b.HandlerSpeedup < cfg.MinSpeedup {
+		fmt.Fprintf(os.Stderr, "serve bench: FAIL handler speedup %.1fx < %.1fx\n", b.HandlerSpeedup, cfg.MinSpeedup)
+		ok = false
+	}
+	if b.FastAllocs > cfg.MaxAllocs {
+		fmt.Fprintf(os.Stderr, "serve bench: FAIL fast path %d allocs/op > %d\n", b.FastAllocs, cfg.MaxAllocs)
+		ok = false
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}

@@ -36,6 +36,9 @@ func main() {
 	nsec := flag.Bool("nsec", false, "add an NSEC chain when signing")
 	algName := flag.String("alg", "ed25519", "signing algorithm: rsa, ecdsa, ed25519")
 	drain := flag.Duration("drain", 5*time.Second, "grace period for in-flight queries on shutdown")
+	shards := flag.Int("shards", 0, "zone shards (0 = default)")
+	cacheEntries := flag.Int("cache", 0, "wire response cache entries (0 = default, negative disables)")
+	legacy := flag.Bool("legacy", false, "serve through the goroutine-per-packet path with no wire cache")
 	flag.Parse()
 
 	z, err := loadZone(*zonePath, *origin)
@@ -70,9 +73,21 @@ func main() {
 		}
 	}
 
-	auth := dnsserver.NewAuthoritative()
-	auth.AddZone(z)
-	srv := &dnsserver.Server{Handler: auth}
+	var handler dnsserver.Handler
+	var sharded *dnsserver.Sharded
+	if *legacy {
+		auth := dnsserver.NewAuthoritative()
+		auth.AddZone(z)
+		handler = auth
+	} else {
+		sharded = dnsserver.NewSharded(dnsserver.ShardedConfig{
+			ZoneShards:   *shards,
+			CacheEntries: *cacheEntries,
+		})
+		sharded.AddZone(z)
+		handler = sharded
+	}
+	srv := &dnsserver.Server{Handler: handler, Legacy: *legacy}
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -89,6 +104,14 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "drain deadline hit; %v\n", err)
 		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "served %d queries (%d wire-cache hits, %d slow path, %d dropped, %d malformed)\n",
+		st.Queries, st.CacheHits, st.SlowPath, st.Dropped, st.Malformed)
+	if sharded != nil {
+		cs := sharded.CacheStats()
+		fmt.Fprintf(os.Stderr, "wire cache: %d entries, %d fills, %d flushed, %d rejected\n",
+			cs.Entries, cs.Fills, cs.Flushed, cs.Rejected)
 	}
 	fmt.Fprintln(os.Stderr, "all in-flight queries answered; bye")
 }

@@ -10,6 +10,7 @@
 package dnsserver
 
 import (
+	"sort"
 	"sync"
 
 	"securepki.org/registrarsec/internal/dnssec"
@@ -94,13 +95,21 @@ func (a *Authoritative) ServeDNS(q *dnswire.Message) *dnswire.Message {
 		resp.RCode = dnswire.RCodeNotImplemented
 		return resp
 	}
-	question := q.Questions[0]
-	qname := dnswire.CanonicalName(question.Name)
+	qname := dnswire.CanonicalName(q.Questions[0].Name)
 	z := a.findZone(qname)
 	if z == nil {
 		resp.RCode = dnswire.RCodeRefused
 		return resp
 	}
+	answerInZone(resp, q, qname, z)
+	return resp
+}
+
+// answerInZone fills resp with the authoritative answer for q's single
+// question out of zone z, per RFC 4035 section 3. It is the shared core of
+// Authoritative and Sharded.
+func answerInZone(resp *dnswire.Message, q *dnswire.Message, qname string, z *zone.Zone) {
+	question := q.Questions[0]
 	dnssecOK := q.DNSSECOK()
 	resp.Authoritative = true
 
@@ -109,10 +118,10 @@ func (a *Authoritative) ServeDNS(q *dnswire.Message) *dnswire.Message {
 	// (RFC 4035 section 3.1.4.1).
 	if cut, nsSet := z.DelegationFor(qname); cut != "" {
 		if qname == cut && question.Type == dnswire.TypeDS {
-			if !a.answerRRSet(resp, z, qname, dnswire.TypeDS, dnssecOK) {
-				a.attachSOA(resp, z, dnssecOK)
+			if !answerRRSet(resp, z, qname, dnswire.TypeDS, dnssecOK) {
+				attachSOA(resp, z, dnssecOK)
 			}
-			return resp
+			return
 		}
 		resp.Authoritative = false
 		resp.Authority = append(resp.Authority, nsSet...)
@@ -143,12 +152,12 @@ func (a *Authoritative) ServeDNS(q *dnswire.Message) *dnswire.Message {
 				resp.Additional = append(resp.Additional, z.Lookup(host, dnswire.TypeAAAA)...)
 			}
 		}
-		return resp
+		return
 	}
 
 	if !z.HasName(qname) {
 		resp.RCode = dnswire.RCodeNameError
-		a.attachSOA(resp, z, dnssecOK)
+		attachSOA(resp, z, dnssecOK)
 		if dnssecOK {
 			if params := nsec3Params(z); params != nil {
 				attachNSEC3Denial(resp, z, params, qname)
@@ -156,7 +165,7 @@ func (a *Authoritative) ServeDNS(q *dnswire.Message) *dnswire.Message {
 				attachCoveringNSEC(resp, z, qname)
 			}
 		}
-		return resp
+		return
 	}
 
 	// CNAME indirection (unless CNAME itself was asked for).
@@ -171,26 +180,34 @@ func (a *Authoritative) ServeDNS(q *dnswire.Message) *dnswire.Message {
 				}
 				appendSigs(resp, z, target, question.Type, &resp.Answers)
 			}
-			return resp
+			return
 		}
 	}
 
 	if question.Type == dnswire.TypeANY {
-		for t, rrs := range z.LookupAll(qname) {
+		// Render in ascending type order so the response bytes are a pure
+		// function of zone content — the wire cache's equivalence contract.
+		all := z.LookupAll(qname)
+		types := make([]dnswire.Type, 0, len(all))
+		for t := range all {
 			if t == dnswire.TypeRRSIG && !dnssecOK {
 				continue
 			}
-			resp.Answers = append(resp.Answers, rrs...)
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			resp.Answers = append(resp.Answers, all[t]...)
 		}
 		if len(resp.Answers) == 0 {
-			a.attachSOA(resp, z, dnssecOK)
+			attachSOA(resp, z, dnssecOK)
 		}
-		return resp
+		return
 	}
 
-	if !a.answerRRSet(resp, z, qname, question.Type, dnssecOK) {
+	if !answerRRSet(resp, z, qname, question.Type, dnssecOK) {
 		// NODATA: name exists but not this type.
-		a.attachSOA(resp, z, dnssecOK)
+		attachSOA(resp, z, dnssecOK)
 		if dnssecOK {
 			if params := nsec3Params(z); params != nil {
 				attachNSEC3ForName(resp, z, params, qname)
@@ -202,12 +219,11 @@ func (a *Authoritative) ServeDNS(q *dnswire.Message) *dnswire.Message {
 			}
 		}
 	}
-	return resp
 }
 
 // answerRRSet copies the RRset (and signatures when dnssecOK) into the
 // answer section; it reports whether any records were found.
-func (a *Authoritative) answerRRSet(resp *dnswire.Message, z *zone.Zone, name string, t dnswire.Type, dnssecOK bool) bool {
+func answerRRSet(resp *dnswire.Message, z *zone.Zone, name string, t dnswire.Type, dnssecOK bool) bool {
 	rrs := z.Lookup(name, t)
 	if len(rrs) == 0 {
 		return false
@@ -221,7 +237,7 @@ func (a *Authoritative) answerRRSet(resp *dnswire.Message, z *zone.Zone, name st
 
 // attachSOA places the zone SOA in the authority section for negative
 // responses, with its signature under DO.
-func (a *Authoritative) attachSOA(resp *dnswire.Message, z *zone.Zone, dnssecOK bool) {
+func attachSOA(resp *dnswire.Message, z *zone.Zone, dnssecOK bool) {
 	if soa := z.SOA(); soa != nil {
 		resp.Authority = append(resp.Authority, soa)
 		if dnssecOK {

@@ -1,0 +1,234 @@
+package dnsserver
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// ResponseCache stores fully packed wire responses keyed by
+// (qname, qtype, EDNS state). Entries are normalized — message ID zeroed,
+// RD bit cleared — so one rendering serves every client; the hit path
+// copies the bytes and patches ID and RD in place.
+//
+// Reads are lock-free: each bucket holds its entry map behind an atomic
+// pointer and writers replace the map copy-on-write under a per-bucket
+// mutex. Invalidation is driven by zone.Events (see Sharded.AddZone): a
+// name-scoped event flushes the enclosing delegation cut's subtree, an
+// apex-scoped event flushes only entries that embed apex-owned records,
+// and a zone-scoped event flushes everything rendered from that zone.
+//
+// A fill races with concurrent zone mutation, so inserts carry a guard:
+// the filler pins the zone's generation (and the handler's publish
+// generation) before rendering, and insert rejects the entry if either
+// moved — a response rendered from half-mutated state can never be cached.
+type ResponseCache struct {
+	buckets [cacheBuckets]respBucket
+	// perBucketCap bounds each bucket's map; inserts into a full bucket are
+	// rejected (counted, not evicted — the workload is a closed universe of
+	// simulated names, so steady state fits or it doesn't).
+	perBucketCap int
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	fills    atomic.Uint64
+	rejected atomic.Uint64
+	flushed  atomic.Uint64
+}
+
+const cacheBuckets = 256
+
+type respBucket struct {
+	m  atomic.Pointer[map[string]*respEntry]
+	mu sync.Mutex
+}
+
+type respEntry struct {
+	// wire is the packed response with ID zeroed and RD cleared.
+	wire []byte
+	// origin of the zone the response was rendered from.
+	origin string
+	// apexDep marks responses embedding apex-owned records (SOA in negative
+	// answers, apex RRsets): the only entries a ScopeApex event flushes.
+	apexDep bool
+}
+
+// EDNS-state key byte: responses differ by OPT presence and DO bit, but not
+// by the client's advertised size (Reply pins the responder payload).
+const (
+	ednsNone  = byte(0)
+	ednsPlain = byte(1)
+	ednsDO    = byte(2)
+)
+
+// NewResponseCache creates a cache bounded to roughly maxEntries entries
+// (0 means the 256k default).
+func NewResponseCache(maxEntries int) *ResponseCache {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 18
+	}
+	per := maxEntries / cacheBuckets
+	if per < 4 {
+		per = 4
+	}
+	c := &ResponseCache{perBucketCap: per}
+	for i := range c.buckets {
+		empty := make(map[string]*respEntry)
+		c.buckets[i].m.Store(&empty)
+	}
+	return c
+}
+
+// respKey builds the cache key into buf: qname bytes, two qtype bytes, one
+// EDNS-state byte.
+func respKey(buf []byte, qname []byte, qtype dnswire.Type, edns byte) []byte {
+	buf = append(buf[:0], qname...)
+	return append(buf, byte(qtype>>8), byte(qtype), edns)
+}
+
+// keyQName recovers the qname portion of a key.
+func keyQName(key string) string { return key[:len(key)-3] }
+
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unsafeString views b as a string without copying. The result must not
+// outlive b and b must not be mutated while the string is live — both hold
+// on the lookup path, where the view only lives for one map index.
+func unsafeString(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// lookup returns the entry for key, or nil. Lock-free.
+func (c *ResponseCache) lookup(key []byte) *respEntry {
+	b := &c.buckets[hashKey(key)&(cacheBuckets-1)]
+	m := *b.m.Load()
+	e := m[unsafeString(key)]
+	if e == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return e
+}
+
+// insert stores e under key unless guard reports the world moved since the
+// response was rendered or the bucket is full. guard runs under the bucket
+// mutex, after which no invalidation for the pinned state can be missed:
+// events fire after the mutation's generation bump, so either guard sees
+// the bump (reject) or the event's flush runs after this insert (delete).
+func (c *ResponseCache) insert(key []byte, e *respEntry, guard func() bool) {
+	b := &c.buckets[hashKey(key)&(cacheBuckets-1)]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !guard() {
+		c.rejected.Add(1)
+		return
+	}
+	old := *b.m.Load()
+	if _, ok := old[unsafeString(key)]; !ok && len(old) >= c.perBucketCap {
+		c.rejected.Add(1)
+		return
+	}
+	next := make(map[string]*respEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[string(key)] = e
+	b.m.Store(&next)
+	c.fills.Add(1)
+}
+
+// applyEvent translates one zone mutation event into the narrowest flush.
+func (c *ResponseCache) applyEvent(z *zone.Zone, ev zone.Event) {
+	switch ev.Scope {
+	case zone.ScopeZone:
+		c.flushWhere(func(key string, e *respEntry) bool {
+			return e.origin == z.Origin
+		})
+	case zone.ScopeApex:
+		c.flushWhere(func(key string, e *respEntry) bool {
+			return e.apexDep && e.origin == z.Origin
+		})
+	default: // ScopeName
+		// A mutation at or under a delegation cut invalidates every referral
+		// the cut covers (NS set, DS proof, glue travel with each of them),
+		// so widen the flush to the cut's whole subtree.
+		target := ev.Name
+		if cut, _ := z.DelegationFor(ev.Name); cut != "" {
+			target = cut
+		}
+		c.flushWhere(func(key string, e *respEntry) bool {
+			return e.origin == z.Origin && dnswire.IsSubdomain(keyQName(key), target)
+		})
+	}
+}
+
+// FlushSubtree removes every entry whose qname is at or below name,
+// regardless of origin zone; used when a zone is installed or removed and
+// previous renderings (including from an enclosing zone) may be stale.
+func (c *ResponseCache) FlushSubtree(name string) {
+	c.flushWhere(func(key string, e *respEntry) bool {
+		return dnswire.IsSubdomain(keyQName(key), name)
+	})
+}
+
+func (c *ResponseCache) flushWhere(match func(string, *respEntry) bool) {
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		b.mu.Lock()
+		old := *b.m.Load()
+		var doomed []string
+		for k, e := range old {
+			if match(k, e) {
+				doomed = append(doomed, k)
+			}
+		}
+		if len(doomed) > 0 {
+			next := make(map[string]*respEntry, len(old)-len(doomed))
+			for k, v := range old {
+				next[k] = v
+			}
+			for _, k := range doomed {
+				delete(next, k)
+			}
+			b.m.Store(&next)
+			c.flushed.Add(uint64(len(doomed)))
+		}
+		b.mu.Unlock()
+	}
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Fills    uint64 `json:"fills"`
+	Rejected uint64 `json:"rejected"`
+	Flushed  uint64 `json:"flushed"`
+	Entries  int    `json:"entries"`
+}
+
+// Stats snapshots the cache counters and current entry count.
+func (c *ResponseCache) Stats() CacheStats {
+	s := CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Fills:    c.fills.Load(),
+		Rejected: c.rejected.Load(),
+		Flushed:  c.flushed.Load(),
+	}
+	for i := range c.buckets {
+		s.Entries += len(*c.buckets[i].m.Load())
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package dnsserver_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// fuzzHandler builds one Sharded handler per process for the fuzz target.
+var fuzzHandler = sync.OnceValue(func() *dnsserver.Sharded {
+	h, err := dnstest.NewHierarchy(time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC), "com")
+	if err != nil {
+		panic(err)
+	}
+	if _, _, err := h.AddDomain("example.com", "ns1.operator.net", dnstest.Full); err != nil {
+		panic(err)
+	}
+	s := dnsserver.NewSharded(dnsserver.ShardedConfig{})
+	s.AddZone(h.TLDZone("com"))
+	return s
+})
+
+// FuzzServeDNS feeds raw packets through both wire entry points and pins
+// three properties: nothing panics; a lazy-parse success implies a full
+// Unpack success with the identical (qname, qtype, class, DO) view (the
+// cache-key soundness contract); and when the fast path answers from cache
+// it returns exactly the bytes the full path renders.
+func FuzzServeDNS(f *testing.F) {
+	seed := func(name string, t dnswire.Type, edns int, rd bool) {
+		q := dnswire.NewQuery(0x7e57, name, t)
+		q.RecursionDesired = rd
+		switch edns {
+		case 1:
+			q.SetEDNS(1232, false)
+		case 2:
+			q.SetEDNS(512, true)
+		}
+		if wire, err := q.Pack(); err == nil {
+			f.Add(wire)
+		}
+	}
+	seed("example.com", dnswire.TypeNS, 0, false)
+	seed("example.com", dnswire.TypeDS, 2, true)
+	seed("www.example.com", dnswire.TypeA, 1, false)
+	seed("nonexistent.com", dnswire.TypeA, 2, false)
+	seed("com", dnswire.TypeANY, 2, true)
+	seed("com", dnswire.TypeSOA, 0, true)
+	seed("", dnswire.TypeNS, 0, false)
+	f.Add([]byte{})
+	f.Add([]byte{0, 9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xc0, 12, 0, 1, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		v, _, lazyErr := dnswire.ParseQueryView(pkt, nil)
+		var m dnswire.Message
+		fullErr := m.Unpack(pkt)
+		if lazyErr == nil {
+			if fullErr != nil {
+				t.Fatalf("lazy parse accepted what Unpack rejects: %v", fullErr)
+			}
+			if len(m.Questions) != 1 {
+				t.Fatalf("lazy-accepted packet has %d questions", len(m.Questions))
+			}
+			q := m.Questions[0]
+			if string(v.Name) != dnswire.CanonicalName(q.Name) ||
+				v.Type != q.Type || v.Class != q.Class {
+				t.Fatalf("lazy view (%q,%v,%v) != full view (%q,%v,%v)",
+					v.Name, v.Type, v.Class, q.Name, q.Type, q.Class)
+			}
+			e := m.EDNS()
+			if v.HasEDNS != (e != nil) || (e != nil && v.DNSSECOK != e.DNSSECOK) {
+				t.Fatalf("lazy EDNS view diverges: %+v vs %+v", v, e)
+			}
+			if v.ID != m.ID || v.RecursionDesired != m.RecursionDesired {
+				t.Fatalf("lazy header view diverges")
+			}
+		}
+
+		s := fuzzHandler()
+		sc := dnsserver.NewWireScratch()
+		full := s.ServeWireFull(nil, pkt, sc, true)
+		if full != nil {
+			var resp dnswire.Message
+			if err := resp.Unpack(full); err != nil {
+				t.Fatalf("emitted unparseable response: %v", err)
+			}
+		}
+		fast, hit := s.ServeWireFast(nil, pkt, sc)
+		if hit {
+			if full == nil {
+				t.Fatal("fast path answered a packet the full path drops")
+			}
+			if !bytes.Equal(fast, full) {
+				t.Fatalf("cached response diverges from rendered:\nfast: %x\nfull: %x", fast, full)
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package dnsserver
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// Sharded is an authoritative handler built for the serving hot path: zone
+// lookups are lock-free reads on shard-local snapshots (each shard's
+// origin→zone map sits behind an atomic pointer, replaced copy-on-write on
+// update — the same publish discipline apiserv uses for its world), and an
+// integrated ResponseCache serves repeat questions as pre-packed wire
+// bytes without touching the zone at all.
+//
+// Installing a zone subscribes the cache to the zone's mutation events
+// before the zone becomes visible to queries, so every response the cache
+// ever holds is covered by the invalidation stream. Zone-set changes
+// themselves are guarded by a publish seqlock (pubGen): fills pin it
+// alongside the zone generation, so a fill racing AddZone/RemoveZone can
+// never strand a response rendered from the superseded zone set.
+type Sharded struct {
+	shards    []zoneShard
+	shardMask uint64
+	cache     *ResponseCache
+
+	// pubGen is odd while a zone-set publish (and its cache flush) is in
+	// progress; fills pinned across a publish are rejected.
+	pubGen atomic.Uint64
+
+	mu         sync.Mutex // serializes publishes and subscription bookkeeping
+	subscribed map[*zone.Zone]bool
+}
+
+type zoneShard struct {
+	zones atomic.Pointer[map[string]*zone.Zone]
+}
+
+// ShardedConfig tunes a Sharded handler; the zero value is production-ready.
+type ShardedConfig struct {
+	// ZoneShards is rounded up to a power of two (default 16).
+	ZoneShards int
+	// CacheEntries bounds the response cache (0 = default 256k entries,
+	// negative = disable caching entirely).
+	CacheEntries int
+}
+
+// NewSharded creates an empty sharded handler.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	n := cfg.ZoneShards
+	if n <= 0 {
+		n = 16
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &Sharded{
+		shards:     make([]zoneShard, pow),
+		shardMask:  uint64(pow - 1),
+		subscribed: make(map[*zone.Zone]bool),
+	}
+	if cfg.CacheEntries >= 0 {
+		s.cache = NewResponseCache(cfg.CacheEntries)
+	}
+	for i := range s.shards {
+		empty := make(map[string]*zone.Zone)
+		s.shards[i].zones.Store(&empty)
+	}
+	return s
+}
+
+// AddZone installs (or replaces) a zone and wires its mutation events into
+// the response cache. Subscription happens before the zone becomes visible
+// so no cached response can predate its invalidation coverage.
+func (s *Sharded) AddZone(z *zone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil && !s.subscribed[z] {
+		s.subscribed[z] = true
+		z.OnEvent(func(ev zone.Event) { s.cache.applyEvent(z, ev) })
+	}
+	s.pubGen.Add(1)
+	s.publishLocked(z.Origin, z)
+	if s.cache != nil {
+		// Stale renderings for this subtree may exist from an enclosing
+		// zone (REFUSED never caches, but a parent zone may have answered
+		// below its cut before the child zone arrived).
+		s.cache.FlushSubtree(z.Origin)
+	}
+	s.pubGen.Add(1)
+}
+
+// RemoveZone drops the zone rooted at origin and flushes its subtree.
+func (s *Sharded) RemoveZone(origin string) {
+	origin = dnswire.CanonicalName(origin)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pubGen.Add(1)
+	s.publishLocked(origin, nil)
+	if s.cache != nil {
+		s.cache.FlushSubtree(origin)
+	}
+	s.pubGen.Add(1)
+}
+
+// publishLocked swaps one shard's map copy-on-write; z == nil deletes.
+func (s *Sharded) publishLocked(origin string, z *zone.Zone) {
+	sh := &s.shards[hashString(origin)&s.shardMask]
+	old := *sh.zones.Load()
+	next := make(map[string]*zone.Zone, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if z == nil {
+		delete(next, origin)
+	} else {
+		next[origin] = z
+	}
+	sh.zones.Store(&next)
+}
+
+// Zone returns the hosted zone with the given origin, or nil.
+func (s *Sharded) Zone(origin string) *zone.Zone {
+	origin = dnswire.CanonicalName(origin)
+	m := *s.shards[hashString(origin)&s.shardMask].zones.Load()
+	return m[origin]
+}
+
+// ZoneCount returns the number of hosted zones.
+func (s *Sharded) ZoneCount() int {
+	n := 0
+	for i := range s.shards {
+		n += len(*s.shards[i].zones.Load())
+	}
+	return n
+}
+
+// CacheStats snapshots the response-cache counters (zero if disabled).
+func (s *Sharded) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// findZone returns the most specific zone containing qname. Lock-free.
+func (s *Sharded) findZone(qname string) *zone.Zone {
+	cur := qname
+	for {
+		m := *s.shards[hashString(cur)&s.shardMask].zones.Load()
+		if z, ok := m[cur]; ok {
+			return z
+		}
+		if cur == "" {
+			return nil
+		}
+		if i := strings.IndexByte(cur, '.'); i >= 0 {
+			cur = cur[i+1:]
+		} else {
+			cur = ""
+		}
+	}
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ServeDNS implements Handler with the same answering semantics as
+// Authoritative, so Sharded drops into MemNet and the Message-level tests
+// unchanged.
+func (s *Sharded) ServeDNS(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	if len(q.Questions) != 1 || q.OpCode != dnswire.OpCodeQuery {
+		resp.RCode = dnswire.RCodeNotImplemented
+		return resp
+	}
+	qname := dnswire.CanonicalName(q.Questions[0].Name)
+	z := s.findZone(qname)
+	if z == nil {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	answerInZone(resp, q, qname, z)
+	return resp
+}

@@ -1,0 +1,78 @@
+package dnsserver_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// blockingHandler parks every query until released, simulating a slow
+// rendering path so the admission semaphore fills.
+type blockingHandler struct {
+	release chan struct{}
+}
+
+func (b *blockingHandler) ServeDNS(q *dnswire.Message) *dnswire.Message {
+	<-b.release
+	return q.Reply()
+}
+
+// TestSlowPathShedsLoad pins the apiserv-style admission gate: with
+// MaxInFlight exhausted by a stuck handler, excess packets are dropped and
+// counted instead of spawning unbounded goroutines.
+func TestSlowPathShedsLoad(t *testing.T) {
+	bh := &blockingHandler{release: make(chan struct{})}
+	srv := &dnsserver.Server{Handler: bh, MaxInFlight: 1, UDPWorkers: 1}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	raddr, err := net.ResolveUDPAddr("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	q := dnswire.NewQuery(1, "example.com", dnswire.TypeA)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := c.Write(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var st dnsserver.ServerStats
+	for time.Now().Before(deadline) {
+		st = srv.Stats()
+		if st.Dropped > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("no packets shed: %+v", st)
+	}
+	if st.SlowPath == 0 {
+		t.Errorf("no packet admitted: %+v", st)
+	}
+	// Release the stuck handler so Close's drain terminates, and confirm
+	// the admitted query still gets its answer.
+	close(bh.release)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 512)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("admitted query never answered: %v", err)
+	}
+}

@@ -8,7 +8,10 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"securepki.org/registrarsec/internal/dnswire"
@@ -19,6 +22,14 @@ import (
 // as a production nameserver would. UDP responses larger than the client's
 // advertised payload are truncated with TC=1 so the client retries over TCP
 // (RFC 1035 section 4.2).
+//
+// The UDP request path runs a fixed pool of reader/worker loops (one per
+// CPU by default). When the Handler is a *Sharded, each worker first tries
+// the zero-alloc wire fast path (lazy parse + response cache) inline;
+// misses and off-fast-path packets are dispatched to goroutines bounded by
+// a MaxInFlight semaphore — when the semaphore is exhausted the packet is
+// dropped and counted, mirroring the apiserv admission gate, so a query
+// flood degrades to shed load instead of unbounded goroutines.
 type Server struct {
 	Handler Handler
 	// Logger receives malformed-packet and I/O diagnostics; slog.Default()
@@ -26,6 +37,18 @@ type Server struct {
 	Logger *slog.Logger
 	// ReadTimeout bounds TCP connection reads (default 5s).
 	ReadTimeout time.Duration
+	// UDPWorkers sets the reader/worker pool size (default GOMAXPROCS).
+	UDPWorkers int
+	// MaxInFlight caps concurrent slow-path query goroutines (default 512);
+	// packets beyond the cap are dropped and counted in Stats.
+	MaxInFlight int
+	// Legacy selects the original goroutine-per-packet UDP path with no
+	// worker pool, pooling, or wire cache. Retained as the benchmark
+	// baseline for regsec-bench's serve section.
+	Legacy bool
+
+	stats serverCounters
+	sem   chan struct{}
 
 	mu       sync.Mutex
 	pc       net.PacketConn
@@ -35,6 +58,55 @@ type Server struct {
 	closed   bool
 	draining bool
 }
+
+type serverCounters struct {
+	queries   atomic.Uint64
+	cacheHits atomic.Uint64
+	slowPath  atomic.Uint64
+	dropped   atomic.Uint64
+	malformed atomic.Uint64
+}
+
+// ServerStats is a point-in-time snapshot of the UDP path counters.
+type ServerStats struct {
+	// Queries is the number of UDP packets read.
+	Queries uint64 `json:"queries"`
+	// CacheHits were answered inline by the wire fast path.
+	CacheHits uint64 `json:"cache_hits"`
+	// SlowPath queries took the full parse/render path.
+	SlowPath uint64 `json:"slow_path"`
+	// Dropped packets were shed because MaxInFlight was exhausted.
+	Dropped uint64 `json:"dropped"`
+	// Malformed packets failed the full parse (or packing) and got no reply.
+	Malformed uint64 `json:"malformed"`
+}
+
+// Stats snapshots the server's UDP counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Queries:   s.stats.queries.Load(),
+		CacheHits: s.stats.cacheHits.Load(),
+		SlowPath:  s.stats.slowPath.Load(),
+		Dropped:   s.stats.dropped.Load(),
+		Malformed: s.stats.malformed.Load(),
+	}
+}
+
+// wireServer is the raw-packet interface the worker loops prefer; *Sharded
+// implements it.
+type wireServer interface {
+	ServeWireFast(dst, pkt []byte, sc *WireScratch) ([]byte, bool)
+	ServeWireFull(dst, pkt []byte, sc *WireScratch, udp bool) []byte
+}
+
+// pktPool recycles slow-path packet copies; scratchPool recycles the
+// parse/pack scratch the transient slow-path goroutines use.
+var pktPool = sync.Pool{New: func() any {
+	b := make([]byte, 65535)
+	return &b
+}}
+
+var scratchPool = sync.Pool{New: func() any { return NewWireScratch() }}
 
 // ListenAndServe binds UDP and TCP on addr ("127.0.0.1:0" for an ephemeral
 // port) and serves until Close. It returns once both listeners are active;
@@ -59,9 +131,29 @@ func (s *Server) ListenAndServe(addr string) error {
 		return errors.New("dnsserver: server closed")
 	}
 	s.pc, s.ln = pc, ln
+	if s.sem == nil {
+		n := s.MaxInFlight
+		if n <= 0 {
+			n = 512
+		}
+		s.sem = make(chan struct{}, n)
+	}
 	s.mu.Unlock()
-	s.wg.Add(2)
-	go s.serveUDP(pc)
+	udp, isUDP := pc.(*net.UDPConn)
+	if s.Legacy || !isUDP {
+		s.wg.Add(1)
+		go s.serveUDPLegacy(pc)
+	} else {
+		workers := s.UDPWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go s.udpWorker(udp)
+		}
+	}
+	s.wg.Add(1)
 	go s.serveTCP(ln)
 	return nil
 }
@@ -192,7 +284,107 @@ func (s *Server) logger() *slog.Logger {
 	return slog.Default()
 }
 
-func (s *Server) serveUDP(pc net.PacketConn) {
+// udpWorker is one reader/worker loop: it owns a read buffer, a response
+// buffer and parse scratch for its lifetime, answers cache hits inline
+// without allocating, and dispatches everything else to semaphore-bounded
+// goroutines.
+func (s *Server) udpWorker(c *net.UDPConn) {
+	defer s.wg.Done()
+	ws, _ := s.Handler.(wireServer)
+	sc := NewWireScratch()
+	in := make([]byte, 65535)
+	out := make([]byte, 0, 4096)
+	for {
+		n, from, err := c.ReadFromUDPAddrPort(in)
+		if err != nil {
+			return // closed or drain deadline
+		}
+		s.stats.queries.Add(1)
+		if ws != nil {
+			var hit bool
+			out, hit = ws.ServeWireFast(out[:0], in[:n], sc)
+			if hit {
+				s.stats.cacheHits.Add(1)
+				if _, err := c.WriteToUDPAddrPort(out, from); err != nil {
+					s.logger().Debug("udp write", "err", err)
+				}
+				continue
+			}
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.stats.dropped.Add(1)
+			continue
+		}
+		s.stats.slowPath.Add(1)
+		pkt := pktPool.Get().(*[]byte)
+		copy(*pkt, in[:n])
+		s.wg.Add(1)
+		go s.serveSlowUDP(c, pkt, n, from, ws)
+	}
+}
+
+// serveSlowUDP answers one query through the full parse path.
+func (s *Server) serveSlowUDP(c *net.UDPConn, pkt *[]byte, n int, from netip.AddrPort, ws wireServer) {
+	defer s.wg.Done()
+	defer func() { <-s.sem }()
+	defer pktPool.Put(pkt)
+	sc := scratchPool.Get().(*WireScratch)
+	defer scratchPool.Put(sc)
+	var out []byte
+	if ws != nil {
+		out = ws.ServeWireFull(sc.out[:0], (*pkt)[:n], sc, true)
+		if out != nil {
+			sc.out = out[:0:cap(out)]
+		}
+	} else {
+		out = s.serveGeneric((*pkt)[:n], sc)
+	}
+	if out == nil {
+		s.stats.malformed.Add(1)
+		return
+	}
+	if _, err := c.WriteToUDPAddrPort(out, from); err != nil {
+		s.logger().Debug("udp write", "err", err)
+	}
+}
+
+// serveGeneric is the full Message round trip for Handlers that do not
+// implement the wire interface.
+func (s *Server) serveGeneric(pkt []byte, sc *WireScratch) []byte {
+	q := &sc.q
+	if err := q.Unpack(pkt); err != nil {
+		s.logger().Debug("dropping malformed query", "err", err)
+		return nil
+	}
+	resp := s.Handler.ServeDNS(q)
+	if resp == nil {
+		return nil
+	}
+	out, err := resp.AppendPack(sc.out[:0])
+	if err != nil {
+		s.logger().Error("packing response", "err", err)
+		return nil
+	}
+	sc.out = out[:0:cap(out)]
+	if len(out) > q.MaxPayload() {
+		// Truncate: header, question and the responder OPT (when the query
+		// carried EDNS — Reply mirrors it), TC set.
+		tr := q.Reply()
+		tr.RCode = resp.RCode
+		tr.Truncated = true
+		tr.Authoritative = resp.Authoritative
+		if out, err = tr.Pack(); err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// serveUDPLegacy is the seed goroutine-per-packet path, kept as the
+// benchmark baseline (Legacy) and for non-UDP PacketConns.
+func (s *Server) serveUDPLegacy(pc net.PacketConn) {
 	defer s.wg.Done()
 	buf := make([]byte, 65535)
 	for {
@@ -200,6 +392,7 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 		if err != nil {
 			return // closed
 		}
+		s.stats.queries.Add(1)
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
 		s.wg.Add(1)
@@ -207,6 +400,7 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 			defer s.wg.Done()
 			var q dnswire.Message
 			if err := q.Unpack(pkt); err != nil {
+				s.stats.malformed.Add(1)
 				s.logger().Debug("dropping malformed query", "from", from, "err", err)
 				return
 			}
@@ -220,7 +414,7 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 				return
 			}
 			if len(out) > q.MaxPayload() {
-				// Truncate: header + question only, TC set.
+				// Truncate: header, question and mirrored EDNS, TC set.
 				tr := q.Reply()
 				tr.RCode = resp.RCode
 				tr.Truncated = true

@@ -1,0 +1,435 @@
+package dnsserver_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/zone"
+)
+
+// sweepQueries packs the full question sweep the equivalence tests replay:
+// every name × {NS, DS, SOA, A, TXT, ANY} × {no EDNS, EDNS, EDNS+DO}, with
+// RD toggled by parity so the cached RD patch is exercised both ways.
+func sweepQueries(t *testing.T, names []string) [][]byte {
+	t.Helper()
+	types := []dnswire.Type{
+		dnswire.TypeNS, dnswire.TypeDS, dnswire.TypeSOA,
+		dnswire.TypeA, dnswire.TypeTXT, dnswire.TypeANY,
+	}
+	var out [][]byte
+	id := uint16(1)
+	for _, name := range names {
+		for _, typ := range types {
+			for edns := 0; edns < 3; edns++ {
+				q := dnswire.NewQuery(id, name, typ)
+				q.RecursionDesired = id%2 == 0
+				if edns > 0 {
+					q.SetEDNS(dnswire.ReplyUDPPayload, edns == 2)
+				}
+				wire, err := q.Pack()
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, wire)
+				id++
+			}
+		}
+	}
+	return out
+}
+
+// sweepNames builds the name list for a TLD zone hosting the given domains:
+// the apex, each delegation, glue-ish children and a nonexistent name.
+func sweepNames(tld string, domains []string) []string {
+	names := []string{tld, "nonexistent-name." + tld}
+	for _, d := range domains {
+		names = append(names, d, "www."+d, "nx."+d)
+	}
+	return names
+}
+
+// newCachedUncachedPair installs the same zone into a caching Sharded and a
+// cache-disabled baseline.
+func newCachedUncachedPair(z *zone.Zone) (cached, uncached *dnsserver.Sharded) {
+	cached = dnsserver.NewSharded(dnsserver.ShardedConfig{})
+	cached.AddZone(z)
+	uncached = dnsserver.NewSharded(dnsserver.ShardedConfig{CacheEntries: -1})
+	uncached.AddZone(z)
+	return cached, uncached
+}
+
+// assertSweepEquivalence replays every query against the cached handler
+// (twice: fill, then the fast path must hit) and the uncached baseline, and
+// requires byte-identical responses. ctxLabel names the assertion site.
+func assertSweepEquivalence(t *testing.T, cached, uncached *dnsserver.Sharded, queries [][]byte, ctxLabel string) {
+	t.Helper()
+	scC := dnsserver.NewWireScratch()
+	scU := dnsserver.NewWireScratch()
+	var fastBuf []byte
+	for i, pkt := range queries {
+		want := uncached.ServeWireFull(nil, pkt, scU, true)
+		if want == nil {
+			t.Fatalf("%s: query %d failed the uncached path", ctxLabel, i)
+		}
+		want = append([]byte(nil), want...)
+		prime := cached.ServeWireFull(nil, pkt, scC, true)
+		if prime == nil {
+			t.Fatalf("%s: query %d failed the cached full path", ctxLabel, i)
+		}
+		if !bytes.Equal(prime, want) {
+			t.Fatalf("%s: query %d full-path responses diverge", ctxLabel, i)
+		}
+		var hit bool
+		fastBuf, hit = cached.ServeWireFast(fastBuf[:0], pkt, scC)
+		if !hit {
+			t.Fatalf("%s: query %d missed the cache after priming", ctxLabel, i)
+		}
+		if !bytes.Equal(fastBuf, want) {
+			t.Fatalf("%s: query %d cached response diverges from uncached:\ncached:   %x\nuncached: %x",
+				ctxLabel, i, fastBuf, want)
+		}
+	}
+}
+
+// TestCachedUncachedEquivalence is the acceptance sweep: for a signed TLD
+// zone (unsigned, NSEC and NSEC3 denial variants), every cached response
+// must be byte-identical to the uncached rendering — same sections, same
+// RRSIGs, same denial records, same EDNS — with only ID/RD patched per
+// client.
+func TestCachedUncachedEquivalence(t *testing.T) {
+	domains := []string{"signed.com", "unsigned.com", "bogus.com"}
+	build := func(t *testing.T, denial string) *zone.Zone {
+		h := newHierarchy(t)
+		for i, d := range domains {
+			mode := []dnstest.DomainMode{dnstest.Full, dnstest.Unsigned, dnstest.BogusDS}[i]
+			if _, _, err := h.AddDomain(d, fmt.Sprintf("ns%d.operator.net", i+1), mode); err != nil {
+				t.Fatal(err)
+			}
+		}
+		z := h.TLDZone("com")
+		signer := h.TLDSigner("com")
+		switch denial {
+		case "nsec":
+			signer.AddNSEC = true
+		case "nsec3":
+			signer.NSEC3 = &dnswire.NSEC3PARAM{HashAlg: 1}
+		}
+		if denial != "plain" {
+			if err := signer.Sign(z); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return z
+	}
+	for _, denial := range []string{"plain", "nsec", "nsec3"} {
+		t.Run(denial, func(t *testing.T) {
+			z := build(t, denial)
+			cached, uncached := newCachedUncachedPair(z)
+			queries := sweepQueries(t, sweepNames("com", domains))
+			assertSweepEquivalence(t, cached, uncached, queries, denial)
+			if st := cached.CacheStats(); st.Fills == 0 || st.Hits == 0 {
+				t.Errorf("cache not exercised: %+v", st)
+			}
+		})
+	}
+}
+
+// TestDayTransitionNoStaleCache mirrors what a tldsim day transition does to
+// a TLD zone — registry.syncDelegationLocked's mutation sequence (drop
+// NS/DS and DS signatures, publish the new delegation, re-sign the DS set,
+// bump the serial) plus key rollover and NS changes — and checks after
+// every transition that the warm cache never serves a response the uncached
+// path would no longer produce.
+func TestDayTransitionNoStaleCache(t *testing.T) {
+	for _, denial := range []string{"plain", "nsec"} {
+		t.Run(denial, func(t *testing.T) {
+			h := newHierarchy(t)
+			domains := []string{"alpha.com", "beta.com", "gamma.com"}
+			for i, d := range domains {
+				if _, _, err := h.AddDomain(d, fmt.Sprintf("ns%d.operator.net", i+1), dnstest.Full); err != nil {
+					t.Fatal(err)
+				}
+			}
+			z := h.TLDZone("com")
+			signer := h.TLDSigner("com")
+			if denial == "nsec" {
+				signer.AddNSEC = true
+				if err := signer.Sign(z); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cached, uncached := newCachedUncachedPair(z)
+			queries := sweepQueries(t, sweepNames("com", domains))
+
+			// Prime the cache with the whole sweep, then mutate.
+			assertSweepEquivalence(t, cached, uncached, queries, "prime")
+
+			syncDelegation := func(domain, nsHost string, ds []*dnswire.DS) {
+				t.Helper()
+				z.Remove(domain, dnswire.TypeNS)
+				z.Remove(domain, dnswire.TypeDS)
+				z.RemoveSigs(domain, dnswire.TypeDS)
+				z.MustAdd(dnswire.NewRR(domain, 86400, &dnswire.NS{Host: nsHost}))
+				for _, d := range ds {
+					z.MustAdd(dnswire.NewRR(domain, 86400, d))
+				}
+				if len(ds) > 0 {
+					if err := signer.SignSet(z, domain, dnswire.TypeDS); err != nil {
+						t.Fatal(err)
+					}
+				}
+				z.BumpSerial()
+			}
+			newDS := func(domain string) []*dnswire.DS {
+				t.Helper()
+				child, err := zone.NewSigner(dnswire.AlgED25519, testNow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds, err := child.DSRecords(domain, dnswire.DigestSHA256)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ds
+			}
+
+			// Day 1: alpha switches operators and rolls its keys (new DS).
+			syncDelegation("alpha.com", "ns9.other-operator.net", newDS("alpha.com"))
+			assertSweepEquivalence(t, cached, uncached, queries, "rollover")
+
+			// Day 2: beta goes insecure (DS removed, delegation kept).
+			syncDelegation("beta.com", "ns2.operator.net", nil)
+			assertSweepEquivalence(t, cached, uncached, queries, "ds-removed")
+
+			// Day 3: gamma is dropped from the registry entirely.
+			z.Remove("gamma.com", dnswire.TypeNS)
+			z.Remove("gamma.com", dnswire.TypeDS)
+			z.RemoveSigs("gamma.com", dnswire.TypeDS)
+			z.BumpSerial()
+			assertSweepEquivalence(t, cached, uncached, queries, "dropped")
+
+			// Day 4: a brand-new delegation appears (structural under NSEC).
+			syncDelegation("delta.com", "ns4.operator.net", newDS("delta.com"))
+			more := sweepQueries(t, []string{"delta.com", "www.delta.com"})
+			assertSweepEquivalence(t, cached, uncached, append(queries, more...), "added")
+		})
+	}
+}
+
+// TestFastPathAllocs pins the zero-allocation property of warm cache hits:
+// at most 2 allocations per query are tolerated, and today the path does 0.
+func TestFastPathAllocs(t *testing.T) {
+	h := newHierarchy(t)
+	if _, _, err := h.AddDomain("example.com", "ns1.operator.net", dnstest.Full); err != nil {
+		t.Fatal(err)
+	}
+	cached, _ := newCachedUncachedPair(h.TLDZone("com"))
+	q := dnswire.NewQuery(7, "example.com", dnswire.TypeDS)
+	q.SetEDNS(dnswire.ReplyUDPPayload, true)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := dnsserver.NewWireScratch()
+	if resp := cached.ServeWireFull(nil, pkt, sc, true); resp == nil {
+		t.Fatal("prime failed")
+	}
+	out := make([]byte, 0, 4096)
+	var hit bool
+	out, hit = cached.ServeWireFast(out[:0], pkt, sc)
+	if !hit {
+		t.Fatal("warm query missed")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, hit = cached.ServeWireFast(out[:0], pkt, sc)
+		if !hit {
+			t.Fatal("warm query missed")
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("fast path allocates %.1f/op (max 2)", allocs)
+	}
+}
+
+// TestTruncatedReplyEchoesEDNS covers the truncation path on both the slow
+// and fast paths: a response exceeding the client's advertised payload must
+// come back TC with the responder's OPT when (and only when) the query
+// carried EDNS, and the two paths must agree byte for byte.
+func TestTruncatedReplyEchoesEDNS(t *testing.T) {
+	h := newHierarchy(t)
+	if _, _, err := h.AddDomain("example.com", "ns1.operator.net", dnstest.Full); err != nil {
+		t.Fatal(err)
+	}
+	z := h.TLDZone("com")
+	// Fatten the apex so ANY answers cannot fit in 512 bytes.
+	for i := 0; i < 8; i++ {
+		z.MustAdd(dnswire.NewRR("com", 300, &dnswire.TXT{
+			Strings: []string{fmt.Sprintf("padding-%d-%s", i, string(bytes.Repeat([]byte{'x'}, 60)))},
+		}))
+	}
+	cached, uncached := newCachedUncachedPair(z)
+
+	check := func(t *testing.T, pkt []byte, wantOPT bool) {
+		scC := dnsserver.NewWireScratch()
+		scU := dnsserver.NewWireScratch()
+		full := uncached.ServeWireFull(nil, pkt, scU, false)
+		if full == nil {
+			t.Fatal("uncached render failed")
+		}
+		if len(full) <= 512 {
+			t.Fatalf("test premise broken: response only %d bytes", len(full))
+		}
+		slowTC := cached.ServeWireFull(nil, pkt, scC, true)
+		if slowTC == nil {
+			t.Fatal("cached render failed")
+		}
+		fastTC, hit := cached.ServeWireFast(nil, pkt, scC)
+		if !hit {
+			t.Fatal("cache miss after fill")
+		}
+		if !bytes.Equal(slowTC, fastTC) {
+			t.Fatalf("slow and fast truncations differ:\nslow: %x\nfast: %x", slowTC, fastTC)
+		}
+		var m dnswire.Message
+		if err := m.Unpack(fastTC); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Truncated {
+			t.Error("TC not set")
+		}
+		if len(m.Answers) != 0 || len(m.Authority) != 0 {
+			t.Error("truncated response carries records")
+		}
+		e := m.EDNS()
+		if wantOPT && e == nil {
+			t.Error("EDNS query got a TC response without OPT")
+		}
+		if !wantOPT && e != nil {
+			t.Error("plain query got an OPT in the TC response")
+		}
+		if wantOPT && !e.DNSSECOK {
+			t.Error("DO bit not echoed in the TC response")
+		}
+	}
+
+	t.Run("edns-do", func(t *testing.T) {
+		q := dnswire.NewQuery(3, "com", dnswire.TypeANY)
+		q.SetEDNS(512, true)
+		pkt, err := q.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, pkt, true)
+	})
+	t.Run("no-edns", func(t *testing.T) {
+		q := dnswire.NewQuery(4, "com", dnswire.TypeANY)
+		pkt, err := q.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, pkt, false)
+	})
+}
+
+// TestShardedMatchesAuthoritative is a differential check of the two
+// Message-level handlers over the sweep.
+func TestShardedMatchesAuthoritative(t *testing.T) {
+	h := newHierarchy(t)
+	if _, _, err := h.AddDomain("example.com", "ns1.operator.net", dnstest.Full); err != nil {
+		t.Fatal(err)
+	}
+	z := h.TLDZone("com")
+	auth := dnsserver.NewAuthoritative()
+	auth.AddZone(z)
+	sh := dnsserver.NewSharded(dnsserver.ShardedConfig{})
+	sh.AddZone(z)
+	for _, pkt := range sweepQueries(t, sweepNames("com", []string{"example.com"})) {
+		var q1, q2 dnswire.Message
+		if err := q1.Unpack(pkt); err != nil {
+			t.Fatal(err)
+		}
+		if err := q2.Unpack(pkt); err != nil {
+			t.Fatal(err)
+		}
+		r1, err := auth.ServeDNS(&q1).Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := sh.ServeDNS(&q2).Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r1, r2) {
+			t.Fatalf("handlers diverge for %x", pkt)
+		}
+	}
+}
+
+// TestConcurrentMutationEquivalence hammers the cached wire paths from
+// several goroutines while a mutator replays day transitions, then checks
+// the cache settled to the uncached view. Run under -race this also proves
+// the lock-free read paths are sound.
+func TestConcurrentMutationEquivalence(t *testing.T) {
+	h := newHierarchy(t)
+	if _, _, err := h.AddDomain("example.com", "ns1.operator.net", dnstest.Full); err != nil {
+		t.Fatal(err)
+	}
+	z := h.TLDZone("com")
+	signer := h.TLDSigner("com")
+	cached, uncached := newCachedUncachedPair(z)
+	queries := sweepQueries(t, sweepNames("com", []string{"example.com"}))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := dnsserver.NewWireScratch()
+			var buf []byte
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pkt := queries[(i+w)%len(queries)]
+				var hit bool
+				buf, hit = cached.ServeWireFast(buf[:0], pkt, sc)
+				if !hit {
+					if out := cached.ServeWireFull(buf[:0], pkt, sc, true); out == nil {
+						t.Error("full path failed mid-mutation")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 25; round++ {
+		z.Remove("example.com", dnswire.TypeDS)
+		z.RemoveSigs("example.com", dnswire.TypeDS)
+		child, err := zone.NewSigner(dnswire.AlgED25519, testNow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dss, err := child.DSRecords("example.com", dnswire.DigestSHA256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ds := range dss {
+			z.MustAdd(dnswire.NewRR("example.com", 86400, ds))
+		}
+		if err := signer.SignSet(z, "example.com", dnswire.TypeDS); err != nil {
+			t.Fatal(err)
+		}
+		z.BumpSerial()
+	}
+	close(stop)
+	wg.Wait()
+	assertSweepEquivalence(t, cached, uncached, queries, "post-mutation")
+}

@@ -15,6 +15,10 @@ type EDNS struct {
 // doBit is the DO flag position within the OPT TTL field.
 const doBit = 1 << 15
 
+// ReplyUDPPayload is the payload size a responder advertises in its own
+// OPT record (RFC 6891 section 6.2.5 leaves the choice to each side).
+const ReplyUDPPayload = 4096
+
 // SetEDNS adds (or replaces) an OPT pseudo-record in the additional section
 // advertising the given UDP payload size and DO bit.
 func (m *Message) SetEDNS(udpSize uint16, dnssecOK bool) {

@@ -261,7 +261,11 @@ func (m *Message) Unpack(b []byte) error {
 }
 
 // Reply constructs a response skeleton for this query: same ID and question,
-// QR set, and the responder's EDNS0 OPT mirrored if the query carried one.
+// QR set, and — when the query carried EDNS0 — a responder OPT with the DO
+// bit mirrored. The responder advertises its own fixed ReplyUDPPayload
+// rather than echoing the client's size, so the response bytes do not vary
+// with the client's advertisement (which is what lets a wire-response cache
+// store one rendering per question).
 func (m *Message) Reply() *Message {
 	r := &Message{
 		Header: Header{
@@ -273,7 +277,7 @@ func (m *Message) Reply() *Message {
 		Questions: append([]Question(nil), m.Questions...),
 	}
 	if e := m.EDNS(); e != nil {
-		r.SetEDNS(e.UDPSize, e.DNSSECOK)
+		r.SetEDNS(ReplyUDPPayload, e.DNSSECOK)
 	}
 	return r
 }

@@ -1,0 +1,113 @@
+package loadgen_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"securepki.org/registrarsec/internal/dnsserver"
+	"securepki.org/registrarsec/internal/dnstest"
+	"securepki.org/registrarsec/internal/dnswire"
+	"securepki.org/registrarsec/internal/loadgen"
+)
+
+// startServer brings up a real Server on loopback fronting the com TLD zone
+// through a Sharded handler.
+func startServer(t *testing.T) (*dnsserver.Server, []string) {
+	t.Helper()
+	h, err := dnstest.NewHierarchy(time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC), "com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"example.com", "signed.com", "plain.com"}
+	for _, name := range names {
+		if _, _, err := h.AddDomain(name, "ns1.operator.net", dnstest.Full); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := dnsserver.NewSharded(dnsserver.ShardedConfig{})
+	sh.AddZone(h.TLDZone("com"))
+	srv := &dnsserver.Server{Handler: sh}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, names
+}
+
+func TestClosedLoopSmoke(t *testing.T) {
+	srv, names := startServer(t)
+	mix, err := loadgen.QueryMix(names, []dnswire.Type{dnswire.TypeNS, dnswire.TypeDS}, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:     srv.Addr(),
+		Queries:  mix,
+		Conns:    2,
+		Duration: 300 * time.Millisecond,
+		Timeout:  time.Second,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatalf("no responses received: %+v", res)
+	}
+	if res.Sent < res.Received {
+		t.Fatalf("sent %d < received %d", res.Sent, res.Received)
+	}
+	if res.QPS <= 0 {
+		t.Fatalf("QPS not positive: %+v", res)
+	}
+	if res.P50 <= 0 {
+		t.Fatalf("p50 not positive: %+v", res)
+	}
+	// The mix repeats fast, so the wire cache must be carrying load.
+	if st := srv.Stats(); st.CacheHits == 0 {
+		t.Errorf("no cache hits after closed-loop run: %+v", st)
+	}
+}
+
+func TestOpenLoopSmoke(t *testing.T) {
+	srv, names := startServer(t)
+	mix, err := loadgen.QueryMix(names, []dnswire.Type{dnswire.TypeSOA}, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:     srv.Addr(),
+		Queries:  mix,
+		Conns:    2,
+		Mode:     loadgen.Open,
+		Rate:     2000,
+		Duration: 250 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatalf("no responses received: %+v", res)
+	}
+	if res.OfferedQPS != 2000 {
+		t.Fatalf("offered rate not reported: %+v", res)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{Addr: "127.0.0.1:1"}); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr: "127.0.0.1:1", Queries: [][]byte{make([]byte, 4)},
+	}); err == nil {
+		t.Error("short query accepted")
+	}
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr: "127.0.0.1:1", Queries: [][]byte{make([]byte, 12)}, Mode: loadgen.Open,
+	}); err == nil {
+		t.Error("open mode without rate accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package zone
+
+import (
+	"securepki.org/registrarsec/internal/dnswire"
+)
+
+// First-class invalidation: every committed mutation emits an Event scoped
+// to the smallest set of cached responses it can possibly affect, and a
+// seqlock-style generation counter lets a cache fill detect that the zone
+// changed between rendering a response and inserting it.
+//
+// Scoping rules (conservative by construction — an event may over-flush,
+// never under-flush):
+//
+//   - Mutations touching NSEC/NSEC3/NSEC3PARAM data, or RRSIGs covering
+//     them, escalate to ScopeZone: denial-of-existence proofs are chosen by
+//     canonical-order spans, so one chain link can appear in responses for
+//     arbitrary qnames.
+//   - While a zone contains an NSEC chain, creating or destroying an owner
+//     name escalates to ScopeZone for the same reason (the covering span of
+//     every nearby name changes).
+//   - While a zone contains any CNAME, every mutation escalates to
+//     ScopeZone: a chased answer for owner O embeds records of target T, so
+//     a name-scoped flush at T would strand O's cached response.
+//   - Apex mutations (including BumpSerial) emit ScopeApex: only responses
+//     that embed apex-owned records — negative answers carrying the SOA,
+//     answers for the apex itself — depend on them.
+//   - Everything else is ScopeName at the mutated owner; the cache layer
+//     widens a name event to the enclosing delegation cut's subtree, which
+//     covers referrals and their glue.
+type Scope uint8
+
+const (
+	// ScopeName invalidates responses derived from one owner name (and, at
+	// or under a delegation cut, the subtree the cut covers).
+	ScopeName Scope = iota
+	// ScopeApex invalidates responses embedding apex-owned records.
+	ScopeApex
+	// ScopeZone invalidates every response derived from the zone.
+	ScopeZone
+)
+
+// Event describes one committed mutation.
+type Event struct {
+	// Name is the mutated owner (canonical); meaningful for ScopeName.
+	Name  string
+	Scope Scope
+}
+
+// OnEvent registers fn to be called after each mutation commits. Callbacks
+// run outside the zone lock (reads from inside fn are safe) but on the
+// mutating goroutine, so they must be fast and must not mutate the zone.
+func (z *Zone) OnEvent(fn func(Event)) {
+	z.mu.Lock()
+	z.subs = append(z.subs, fn)
+	z.mu.Unlock()
+}
+
+// Generation returns the zone's mutation counter. It is odd while a
+// mutation is in progress and even when the zone is quiescent; a cache fill
+// pins an even generation before rendering and discards the entry if the
+// value changed by insert time.
+func (z *Zone) Generation() uint64 {
+	return z.gen.Load()
+}
+
+// eventLocked classifies a committed mutation at name affecting RRsets of
+// type affects. structural reports that an owner name was created or
+// destroyed; callers only need to compute it when the zone has an NSEC
+// chain. z.mu must be held.
+func (z *Zone) eventLocked(name string, affects dnswire.Type, structural bool) Event {
+	switch {
+	case affects == dnswire.TypeNSEC || affects == dnswire.TypeNSEC3 || affects == dnswire.TypeNSEC3PARAM:
+		return Event{Scope: ScopeZone}
+	case structural && z.nsecSets > 0:
+		return Event{Scope: ScopeZone}
+	case z.cnameSets > 0:
+		return Event{Scope: ScopeZone}
+	case name == z.Origin:
+		return Event{Name: name, Scope: ScopeApex}
+	default:
+		return Event{Name: name, Scope: ScopeName}
+	}
+}
+
+// trackSetAdded/trackSetRemoved maintain the NSEC/CNAME RRset counters that
+// drive escalation. z.mu must be held.
+func (z *Zone) trackSetAdded(t dnswire.Type) {
+	switch t {
+	case dnswire.TypeNSEC, dnswire.TypeNSEC3:
+		z.nsecSets++
+	case dnswire.TypeCNAME:
+		z.cnameSets++
+	}
+}
+
+func (z *Zone) trackSetRemoved(t dnswire.Type) {
+	switch t {
+	case dnswire.TypeNSEC, dnswire.TypeNSEC3:
+		z.nsecSets--
+	case dnswire.TypeCNAME:
+		z.cnameSets--
+	}
+}
+
+// hasNameLocked is HasName without taking the lock.
+func (z *Zone) hasNameLocked(name string) bool {
+	for k := range z.sets {
+		if k.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// needStructural reports whether a mutation must pay the owner-name
+// existence scan: only when someone is listening and the zone has an NSEC
+// chain that makes structural changes zone-wide. z.mu must be held.
+func (z *Zone) needStructural() bool {
+	return len(z.subs) > 0 && z.nsecSets > 0
+}
+
+func notify(subs []func(Event), ev Event) {
+	for _, fn := range subs {
+		fn(ev)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"securepki.org/registrarsec/internal/dnswire"
 )
@@ -24,7 +25,9 @@ type rrKey struct {
 
 // Zone is a mutable collection of RRsets rooted at Origin. It is safe for
 // concurrent use; the simulation mutates zones (registrars enabling DNSSEC,
-// owners switching nameservers) while the scanner reads them.
+// owners switching nameservers) while the scanner reads them. Mutations
+// emit invalidation Events (see events.go) so response caches can flush
+// exactly the affected names.
 type Zone struct {
 	// Origin is the canonical apex name of the zone.
 	Origin string
@@ -33,6 +36,14 @@ type Zone struct {
 
 	mu   sync.RWMutex
 	sets map[rrKey][]*dnswire.RR
+	subs []func(Event)
+	// gen is a seqlock-style mutation counter: incremented to odd when a
+	// mutation begins, back to even when it commits.
+	gen atomic.Uint64
+	// nsecSets and cnameSets count RRsets whose presence forces zone-wide
+	// invalidation scopes (see eventLocked).
+	nsecSets  int
+	cnameSets int
 }
 
 // New creates an empty zone for the given origin.
@@ -50,20 +61,37 @@ func (z *Zone) Add(rr *dnswire.RR) error {
 	if !dnswire.IsSubdomain(rr.Name, z.Origin) {
 		return fmt.Errorf("zone %s: record %s out of bailiwick", present(z.Origin), rr.Name)
 	}
-	z.mu.Lock()
-	defer z.mu.Unlock()
-	k := rrKey{rr.Name, rr.Type}
 	wire, err := rr.CanonicalWire()
 	if err != nil {
 		return err
 	}
+	z.mu.Lock()
+	k := rrKey{rr.Name, rr.Type}
 	for _, have := range z.sets[k] {
 		hw, _ := have.CanonicalWire()
 		if string(hw) == string(wire) {
+			z.mu.Unlock()
 			return nil
 		}
 	}
+	structural := false
+	if z.needStructural() && len(z.sets[k]) == 0 {
+		structural = !z.hasNameLocked(rr.Name)
+	}
+	z.gen.Add(1)
 	z.sets[k] = append(z.sets[k], rr)
+	if len(z.sets[k]) == 1 {
+		z.trackSetAdded(rr.Type)
+	}
+	affects := rr.Type
+	if sig, ok := rr.Data.(*dnswire.RRSIG); ok {
+		affects = sig.TypeCovered
+	}
+	ev := z.eventLocked(rr.Name, affects, structural)
+	z.gen.Add(1)
+	subs := z.subs
+	z.mu.Unlock()
+	notify(subs, ev)
 	return nil
 }
 
@@ -76,20 +104,46 @@ func (z *Zone) MustAdd(rr *dnswire.RR) {
 
 // Remove deletes the whole RRset at (name, type).
 func (z *Zone) Remove(name string, t dnswire.Type) {
+	name = dnswire.CanonicalName(name)
 	z.mu.Lock()
-	defer z.mu.Unlock()
-	delete(z.sets, rrKey{dnswire.CanonicalName(name), t})
+	k := rrKey{name, t}
+	if _, ok := z.sets[k]; !ok {
+		z.mu.Unlock()
+		return
+	}
+	z.gen.Add(1)
+	delete(z.sets, k)
+	z.trackSetRemoved(t)
+	structural := false
+	if z.needStructural() {
+		structural = !z.hasNameLocked(name)
+	}
+	ev := z.eventLocked(name, t, structural)
+	z.gen.Add(1)
+	subs := z.subs
+	z.mu.Unlock()
+	notify(subs, ev)
 }
 
 // RemoveName deletes every RRset owned by name.
 func (z *Zone) RemoveName(name string) {
 	name = dnswire.CanonicalName(name)
 	z.mu.Lock()
-	defer z.mu.Unlock()
+	z.gen.Add(1)
+	removed := false
 	for k := range z.sets {
 		if k.name == name {
 			delete(z.sets, k)
+			z.trackSetRemoved(k.typ)
+			removed = true
 		}
+	}
+	ev := z.eventLocked(name, 0, removed)
+	z.gen.Add(1)
+	subs := z.subs
+	z.mu.Unlock()
+	if removed {
+		notify(subs, ev)
 	}
 }
 
@@ -98,9 +152,13 @@ func (z *Zone) RemoveName(name string) {
 func (z *Zone) RemoveSigs(name string, t dnswire.Type) {
 	name = dnswire.CanonicalName(name)
 	z.mu.Lock()
-	defer z.mu.Unlock()
 	k := rrKey{name, dnswire.TypeRRSIG}
 	set := z.sets[k]
+	if len(set) == 0 {
+		z.mu.Unlock()
+		return
+	}
+	z.gen.Add(1)
 	kept := set[:0]
 	for _, rr := range set {
 		if sig, ok := rr.Data.(*dnswire.RRSIG); ok && sig.TypeCovered == t {
@@ -113,18 +171,30 @@ func (z *Zone) RemoveSigs(name string, t dnswire.Type) {
 	} else {
 		z.sets[k] = kept
 	}
+	// The event is classified by the covered type: dropping the signature
+	// over an NSEC chain link invalidates denial proofs zone-wide.
+	ev := z.eventLocked(name, t, false)
+	z.gen.Add(1)
+	subs := z.subs
+	z.mu.Unlock()
+	notify(subs, ev)
 }
 
 // RemoveType deletes every RRset of the given type anywhere in the zone
-// (used to strip RRSIG/NSEC before re-signing).
+// (used to strip RRSIG/NSEC before re-signing). Always a zone-wide event.
 func (z *Zone) RemoveType(t dnswire.Type) {
 	z.mu.Lock()
-	defer z.mu.Unlock()
+	z.gen.Add(1)
 	for k := range z.sets {
 		if k.typ == t {
 			delete(z.sets, k)
+			z.trackSetRemoved(k.typ)
 		}
 	}
+	z.gen.Add(1)
+	subs := z.subs
+	z.mu.Unlock()
+	notify(subs, Event{Scope: ScopeZone})
 }
 
 // Lookup returns a copy of the RRset at (name, type), nil if absent.
@@ -229,15 +299,23 @@ func (z *Zone) SOA() *dnswire.RR {
 }
 
 // BumpSerial increments the SOA serial, creating change visibility for
-// secondaries and scanners.
+// secondaries and scanners. It emits an apex-scoped event: only cached
+// responses that embed apex-owned records (the SOA in negative answers,
+// apex RRset answers) depend on the serial, so per-mutation serial bumps
+// do not flush the rest of the zone's cached responses.
 func (z *Zone) BumpSerial() {
 	z.mu.Lock()
-	defer z.mu.Unlock()
+	z.gen.Add(1)
 	for _, rr := range z.sets[rrKey{z.Origin, dnswire.TypeSOA}] {
 		if soa, ok := rr.Data.(*dnswire.SOA); ok {
 			soa.Serial++
 		}
 	}
+	ev := z.eventLocked(z.Origin, dnswire.TypeSOA, false)
+	z.gen.Add(1)
+	subs := z.subs
+	z.mu.Unlock()
+	notify(subs, ev)
 }
 
 // DelegationFor finds the closest delegation cut at or above qname (strictly
@@ -277,6 +355,7 @@ func (z *Zone) Clone() *Zone {
 	defer z.mu.RUnlock()
 	c := New(z.Origin)
 	c.DefaultTTL = z.DefaultTTL
+	c.nsecSets, c.cnameSets = z.nsecSets, z.cnameSets
 	for k, set := range z.sets {
 		c.sets[k] = append([]*dnswire.RR(nil), set...)
 	}
