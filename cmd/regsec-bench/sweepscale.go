@@ -1,0 +1,308 @@
+package main
+
+// The sweep-scale section: how the two sweep pipelines behave as the
+// per-day target count approaches full-.com size. For each population
+// divisor it runs the identical sweep twice — once on the legacy
+// whole-day path (every record of every day resident until the final
+// archive write) and once on the streaming path (chunked scan, spill to
+// disk past the memory budget, k-way merge on write) — while a sampler
+// goroutine tracks the peak live heap over the world-build baseline. The
+// two archives must match byte for byte, and at the largest population
+// the streaming peak must stay under half the whole-day peak: that bound
+// is the point of the streaming pipeline, so the benchmark gates on it.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"time"
+
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/dsweep"
+	"securepki.org/registrarsec/internal/scan"
+	"securepki.org/registrarsec/internal/simtime"
+	"securepki.org/registrarsec/internal/tldsim"
+)
+
+type sweepscaleBenchConfig struct {
+	Seed      int64
+	Divisors  []float64
+	Sample    int
+	Chunk     int
+	MemBudget int64
+	OutPath   string
+}
+
+// sweepscaleEntry is one divisor's paired measurement.
+type sweepscaleEntry struct {
+	ScaleDivisor float64 `json:"scale_divisor"`
+	Sample       int     `json:"sample"`
+	Days         int     `json:"days"`
+	Chunk        int     `json:"chunk"`
+
+	WholeWallMs    float64 `json:"whole_wall_ms"`
+	WholePeakBytes uint64  `json:"whole_peak_bytes"`
+
+	StreamWallMs    float64 `json:"stream_wall_ms"`
+	StreamPeakBytes uint64  `json:"stream_peak_bytes"`
+
+	// PeakRatio is streaming/whole-day peak heap over the shared world
+	// baseline; below 1 means streaming was cheaper.
+	PeakRatio     float64 `json:"peak_ratio"`
+	ByteIdentical bool    `json:"byte_identical"`
+}
+
+type sweepscaleBaseline struct {
+	Schema         string            `json:"schema"`
+	Seed           int64             `json:"seed"`
+	GoMaxProcs     int               `json:"gomaxprocs"`
+	MemBudgetBytes int64             `json:"mem_budget_bytes"`
+	Entries        []sweepscaleEntry `json:"entries"`
+}
+
+const sweepscaleBaselineSchema = "regsec-bench-sweepscale/1"
+
+// sweepscaleMaxPeakRatio is the gate at the largest population measured:
+// the streaming pipeline's peak heap must stay under this fraction of the
+// whole-day pipeline's.
+const sweepscaleMaxPeakRatio = 0.5
+
+// liveHeap reads the bytes occupied by objects the last GC mark proved
+// live — unlike HeapAlloc it excludes not-yet-collected garbage, so the
+// number reflects what the pipeline actually holds, not allocation churn.
+func liveHeap() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/live:bytes"}}
+	metrics.Read(s)
+	return s[0].Value.Uint64()
+}
+
+// heapWatch samples the live heap in the background and keeps the peak.
+// The metric updates at each GC mark; the scan's allocation rate keeps
+// marks frequent, so the sampler sees every growth step.
+type heapWatch struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func watchHeap() *heapWatch {
+	w := &heapWatch{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				if v := liveHeap(); v > w.peak {
+					w.peak = v
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Peak stops the sampler, forces a final mark so end-of-run state (the
+// whole-day path's fully populated store) is counted, and returns the
+// peak live heap over the baseline.
+func (w *heapWatch) Peak(baseline uint64) uint64 {
+	close(w.stop)
+	<-w.done
+	runtime.GC()
+	if v := liveHeap(); v > w.peak {
+		w.peak = v
+	}
+	if w.peak <= baseline {
+		return 0
+	}
+	return w.peak - baseline
+}
+
+// heapBaseline collects garbage and reads the settled live heap.
+func heapBaseline() uint64 {
+	runtime.GC()
+	return liveHeap()
+}
+
+func runSweepscaleBench(cfg sweepscaleBenchConfig) int {
+	tmpDir, err := os.MkdirTemp("", "regsec-sweepscale-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer os.RemoveAll(tmpDir)
+
+	// A tighter GC makes marks (and so live-heap metric updates) more
+	// frequent, giving the peak sampler finer resolution on growth steps.
+	defer debug.SetGCPercent(debug.SetGCPercent(50))
+
+	days := []simtime.Day{simtime.Date(2016, 6, 1), simtime.End}
+	baseline := &sweepscaleBaseline{
+		Schema:         sweepscaleBaselineSchema,
+		Seed:           cfg.Seed,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		MemBudgetBytes: cfg.MemBudget,
+	}
+	ok := true
+	for i, div := range cfg.Divisors {
+		spec := &dsweep.WorldSpec{
+			ScaleDiv: div, Seed: cfg.Seed, Sample: cfg.Sample,
+			Workers: runtime.GOMAXPROCS(0), Chunk: cfg.Chunk,
+		}
+		entry := sweepscaleEntry{
+			ScaleDivisor: div, Sample: cfg.Sample, Days: len(days), Chunk: cfg.Chunk,
+		}
+
+		// Build once, save, and mmap-load — the production -world-cache
+		// lifecycle. The loaded world is file-backed, so neither mode
+		// carries the population as resident heap and the peak measures the
+		// sweep pipeline alone. (An in-heap world would also slow GC marks
+		// to the point where mark-window churn, counted live by
+		// allocate-black, drowns the streaming pipeline's real footprint.)
+		worldPath := filepath.Join(tmpDir, fmt.Sprintf("world-%.0f.rscw", div))
+		built, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / div, Seed: cfg.Seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := built.Save(worldPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		built = nil
+		runtime.GC()
+		world, _, err := tldsim.LoadWorld(worldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+
+		// Whole-day: Setup materializes the day's full target slice and Run
+		// keeps every day's snapshot resident until the archive write.
+		setup, err := spec.BuildWith(world, nil, 0, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		wholePath := filepath.Join(tmpDir, fmt.Sprintf("whole-%.0f.tsv", div))
+		base := heapBaseline()
+		hw := watchHeap()
+		start := time.Now()
+		rs := &scan.ResumableSweep{Setup: setup, Shards: 1}
+		store, err := rs.Run(context.Background(), days)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		f, err := os.Create(wholePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := store.WriteArchive(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		entry.WholeWallMs = ms(start)
+		entry.WholePeakBytes = hw.Peak(base)
+		store = nil
+		setup = nil
+		fmt.Fprintf(os.Stderr, "sweepscale 1/%.0f: whole-day %d targets × %d days in %.0f ms, peak %.1f MB over a %.1f MB baseline\n",
+			div, cfg.Sample, len(days), entry.WholeWallMs, float64(entry.WholePeakBytes)/1e6, float64(base)/1e6)
+
+		// Streaming: same spec and world, chunked cursor scan with
+		// spill-to-disk past the budget, archive sections written by k-way
+		// merge.
+		streamSetup, err := spec.BuildStreamWith(world, nil, 0, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		streamPath := filepath.Join(tmpDir, fmt.Sprintf("stream-%.0f.tsv", div))
+		base = heapBaseline()
+		hw = watchHeap()
+		start = time.Now()
+		srs := &scan.ResumableSweep{
+			StreamSetup: streamSetup, Shards: 1, Chunk: cfg.Chunk,
+			Spill: dataset.SpillOptions{Dir: tmpDir, MemBudget: cfg.MemBudget},
+		}
+		aw, err := dataset.NewArchiveWriter(streamPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		err = srs.RunStream(context.Background(), days, func(day simtime.Day, sw *dataset.SpillWriter) error {
+			return aw.Section(sw)
+		})
+		if err != nil {
+			aw.Abort()
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := aw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		entry.StreamWallMs = ms(start)
+		entry.StreamPeakBytes = hw.Peak(base)
+		streamSetup = nil
+		fmt.Fprintf(os.Stderr, "sweepscale 1/%.0f: streaming (chunk %d, budget %.0f MB) in %.0f ms, peak %.1f MB over a %.1f MB baseline\n",
+			div, cfg.Chunk, float64(cfg.MemBudget)/1e6, entry.StreamWallMs, float64(entry.StreamPeakBytes)/1e6, float64(base)/1e6)
+
+		whole, err := os.ReadFile(wholePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		streamed, err := os.ReadFile(streamPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		world.Close()
+		entry.ByteIdentical = bytes.Equal(whole, streamed)
+		if !entry.ByteIdentical {
+			fmt.Fprintf(os.Stderr, "sweepscale 1/%.0f: streaming archive DIVERGED from the whole-day archive\n", div)
+			ok = false
+		}
+		if entry.WholePeakBytes > 0 {
+			entry.PeakRatio = float64(entry.StreamPeakBytes) / float64(entry.WholePeakBytes)
+		}
+		// The gate applies at the largest population (the last divisor):
+		// small populations fit either way, so their ratio is noise.
+		if i == len(cfg.Divisors)-1 && entry.PeakRatio >= sweepscaleMaxPeakRatio {
+			fmt.Fprintf(os.Stderr, "sweepscale 1/%.0f: streaming peak is %.2fx the whole-day peak, want < %.2f\n",
+				div, entry.PeakRatio, sweepscaleMaxPeakRatio)
+			ok = false
+		}
+		baseline.Entries = append(baseline.Entries, entry)
+	}
+
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(cfg.OutPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", cfg.OutPath)
+	if !ok {
+		return 1
+	}
+	return 0
+}

@@ -9,6 +9,7 @@
 //	            [-retries 3] [-resweeps 2] [-fault-frac 0.5] [-fault-loss 0.2] [-fault-seed 1]
 //	            [-cache] [-dedup] [-world-cache worlds/]
 //	            [-checkpoint-dir state/] [-resume] [-shards 4]
+//	            [-chunk 4096] [-mem-budget 256] [-spill-dir /scratch]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 //	regsec-scan -worker http://coordinator:7353 -checkpoint-dir state/
@@ -37,6 +38,17 @@
 // with -resume picks up from the last completed shard — finished work is
 // verified by checksum, not re-scanned — and the final archive is
 // byte-identical to an uninterrupted run.
+//
+// -chunk switches the sweep to the streaming pipeline for full-.com-scale
+// runs: targets come off a cursor in chunks of that many domains, each
+// chunk's DNS is materialized (and signed) lazily, completed chunks are
+// durably checkpointed, and each day's records flow through a spill-to-disk
+// writer bounded by -mem-budget MiB of RAM (run files land in -spill-dir).
+// The archive bytes are identical to the whole-day pipeline's; peak memory
+// scales with the chunk, not the day. A resumed streaming sweep re-enters
+// the interrupted shard at its first missing chunk; the chunk size is part
+// of the checkpoint fingerprint, so -resume with a different -chunk is
+// refused.
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 	"time"
 
 	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/dsweep"
 	"securepki.org/registrarsec/internal/exchange"
 	"securepki.org/registrarsec/internal/faultnet"
@@ -83,6 +96,9 @@ func run() int {
 	cpDir := flag.String("checkpoint-dir", "", "directory for durable sweep checkpoints (enables crash-safe resume)")
 	resume := flag.Bool("resume", false, "continue from an existing checkpoint in -checkpoint-dir")
 	shards := flag.Int("shards", 4, "checkpoint units per day (granularity of resume)")
+	chunk := flag.Int("chunk", 0, "streaming pipeline: targets per materialize+scan+flush chunk (0 = whole-day pipeline)")
+	memBudget := flag.Int("mem-budget", 0, "streaming pipeline: MiB of records buffered per day before spilling sorted runs to disk (default 256)")
+	spillDir := flag.String("spill-dir", "", "streaming pipeline: directory for spill run files (default: system temp dir)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	workerURL := flag.String("worker", "", "join a distributed sweep as a worker of the coordinator at this URL")
@@ -150,20 +166,96 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	domains := world.Sample(*sample, *seed)
+	src := world.SampleSource(*sample, *seed)
+
+	// The fingerprint binds a checkpoint to everything that shapes the
+	// sweep's output, so a stale or mismatched checkpoint is refused
+	// instead of silently mixed into a different configuration. The chunk
+	// size shapes the durable chunk files a streaming resume trusts, so it
+	// joins the fingerprint too: -resume under a different -chunk is
+	// refused instead of fabricating a day out of incompatible pieces.
+	fingerprint := fmt.Sprintf("scale=%g seed=%d days=%s sample=%d shards=%d faults=%g/%g/%d retries=%d resweeps=%d",
+		*scaleDiv, *seed, *daysStr, *sample, *shards, *faultFrac, *faultLoss, *faultSeed, *retries, *resweeps)
+	if *chunk > 0 {
+		fingerprint += fmt.Sprintf(" chunk=%d", *chunk)
+	}
+
+	// SIGINT/SIGTERM cancel the sweep context: workers drain, the partial
+	// shard is discarded, and the checkpoint is flushed before we exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	var scanners []*scan.Scanner
+	rs := &scan.ResumableSweep{
+		Checkpoint:  cp,
+		Fingerprint: fingerprint,
+		Shards:      *shards,
+		OnDayHealth: func(day simtime.Day, h *scan.SweepHealth) {
+			fmt.Fprintln(os.Stderr, h)
+		},
+		OnEvent: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+
+	if *chunk > 0 {
+		rs.Chunk = *chunk
+		rs.Spill = dataset.SpillOptions{Dir: *spillDir, MemBudget: int64(*memBudget) << 20}
+		rs.StreamSetup = func(ctx context.Context, day simtime.Day) (*scan.Scanner, scan.TargetSource, scan.ChunkPrepare, error) {
+			fmt.Fprintf(os.Stderr, "streaming %d domains at %s in chunks of %d (lazy materialization)...\n", src.Len(), day, *chunk)
+			sm := tldsim.NewStreamMaterializer(day, src)
+			var mw []exchange.Middleware
+			if *faultFrac > 0 {
+				rules, faulty := tldsim.LossyOperatorsSource(src, *faultFrac, *faultLoss, *faultSeed)
+				inj := faultnet.New(nil, *faultSeed, func() simtime.Day { return day }, rules...)
+				mw = append(mw, inj.Middleware())
+				fmt.Fprintf(os.Stderr, "injecting %.0f%% loss on %d operator(s)\n", *faultLoss*100, len(faulty))
+			}
+			var cacheOpts *exchange.CacheOptions
+			if *useCache {
+				cacheOpts = &exchange.CacheOptions{}
+			}
+			scanner, err := scan.New(scan.Config{
+				Exchange:    sm,
+				Middleware:  mw,
+				Dedup:       *useDedup,
+				Cache:       cacheOpts,
+				TLDServers:  sm.TLDServers,
+				Workers:     *workers,
+				Clock:       func() simtime.Day { return day },
+				Retry:       retry.Policy{MaxAttempts: *retries},
+				MaxResweeps: *resweeps,
+			})
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			scanners = append(scanners, scanner)
+			prepare := func(ctx context.Context, lo, hi int) error {
+				// Each chunk's materialization signs with fresh keys, so
+				// answers cached from the previous chunk must not survive
+				// into this one.
+				if *useCache {
+					scanner.Stack().FlushCache()
+				}
+				return sm.Prepare(ctx, lo, hi)
+			}
+			return scanner, src, prepare, nil
+		}
+		total, code := runStreamOut(ctx, rs, days, *outPath, cp, *cpDir)
+		if code != 0 {
+			return code
+		}
+		reportTotals(scanners, total, len(days), start)
+		return 0
+	}
+
+	domains := tldsim.Domains(src)
 	targets := make([]scan.Target, 0, len(domains))
 	for _, d := range domains {
 		targets = append(targets, scan.Target{Domain: d.Name, TLD: d.TLD})
 	}
-
-	// The fingerprint binds a checkpoint to everything that shapes the
-	// sweep's output, so a stale or mismatched checkpoint is refused
-	// instead of silently mixed into a different configuration.
-	fingerprint := fmt.Sprintf("scale=%g seed=%d days=%s sample=%d shards=%d faults=%g/%g/%d retries=%d resweeps=%d",
-		*scaleDiv, *seed, *daysStr, *sample, *shards, *faultFrac, *faultLoss, *faultSeed, *retries, *resweeps)
-
-	var scanners []*scan.Scanner
-	setup := func(ctx context.Context, day simtime.Day) (*scan.Scanner, []scan.Target, error) {
+	rs.Setup = func(ctx context.Context, day simtime.Day) (*scan.Scanner, []scan.Target, error) {
 		fmt.Fprintf(os.Stderr, "materializing %d domains at %s (real keys, real signatures)...\n", len(domains), day)
 		mat, err := tldsim.Materialize(day, domains)
 		if err != nil {
@@ -197,25 +289,6 @@ func run() int {
 		scanners = append(scanners, scanner)
 		return scanner, targets, nil
 	}
-
-	// SIGINT/SIGTERM cancel the sweep context: workers drain, the partial
-	// shard is discarded, and the checkpoint is flushed before we exit.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	start := time.Now()
-	rs := &scan.ResumableSweep{
-		Checkpoint:  cp,
-		Fingerprint: fingerprint,
-		Shards:      *shards,
-		Setup:       setup,
-		OnDayHealth: func(day simtime.Day, h *scan.SweepHealth) {
-			fmt.Fprintln(os.Stderr, h)
-		},
-		OnEvent: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-	}
 	store, err := rs.Run(ctx, days)
 	if err != nil {
 		if errors.Is(err, context.Canceled) && cp != nil {
@@ -225,13 +298,6 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	var queries int64
-	var stackTotals exchange.Counters
-	for _, s := range scanners {
-		queries += s.Queries()
-		stackTotals = stackTotals.Add(s.Stack().Counters())
-	}
-
 	if *outPath != "" {
 		if err := store.WriteArchiveFile(*outPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -243,14 +309,7 @@ func run() int {
 		for _, day := range store.Days() {
 			snap := store.Get(day)
 			for i := range snap.Records {
-				r := &snap.Records[i]
-				class := r.Deployment().String()
-				if r.Failed {
-					class = "unmeasured(" + r.FailReason + ")"
-				}
-				fmt.Printf("%s\t%s\t%s\t%s\t%v\t%v\t%v\t%v\t%s\n",
-					r.Domain, r.TLD, r.Operator, strings.Join(r.NSHosts, ","),
-					r.HasDNSKEY, r.HasRRSIG, r.HasDS, r.ChainValid, class)
+				printRecord(&snap.Records[i])
 			}
 		}
 	}
@@ -264,10 +323,89 @@ func run() int {
 	for _, day := range store.Days() {
 		total += len(store.Get(day).Records)
 	}
-	fmt.Fprintf(os.Stderr, "scanned %d records across %d day(s) in %v (%d DNS queries)\n",
-		total, store.Len(), time.Since(start).Round(time.Millisecond), queries)
-	fmt.Fprintf(os.Stderr, "exchange stack: %s\n", stackTotals)
+	reportTotals(scanners, total, store.Len(), start)
 	return 0
+}
+
+// printRecord writes one stdout TSV line in the record format shared by
+// the whole-day and streaming output paths.
+func printRecord(r *dataset.Record) {
+	class := r.Deployment().String()
+	if r.Failed {
+		class = "unmeasured(" + r.FailReason + ")"
+	}
+	fmt.Printf("%s\t%s\t%s\t%s\t%v\t%v\t%v\t%v\t%s\n",
+		r.Domain, r.TLD, r.Operator, strings.Join(r.NSHosts, ","),
+		r.HasDNSKEY, r.HasRRSIG, r.HasDS, r.ChainValid, class)
+}
+
+// reportTotals prints the sweep's closing stderr summary.
+func reportTotals(scanners []*scan.Scanner, total, days int, start time.Time) {
+	var queries int64
+	var stackTotals exchange.Counters
+	for _, s := range scanners {
+		queries += s.Queries()
+		stackTotals = stackTotals.Add(s.Stack().Counters())
+	}
+	fmt.Fprintf(os.Stderr, "scanned %d records across %d day(s) in %v (%d DNS queries)\n",
+		total, days, time.Since(start).Round(time.Millisecond), queries)
+	fmt.Fprintf(os.Stderr, "exchange stack: %s\n", stackTotals)
+}
+
+// runStreamOut drives the streaming sweep and its output path: day
+// sections flow straight from each day's spill writer into a streamed
+// archive with -o, or through a sorted-record stdout printer without. It
+// returns the record total and the process exit code.
+func runStreamOut(ctx context.Context, rs *scan.ResumableSweep, days []simtime.Day, outPath string, cp *checkpoint.Store, cpDir string) (int, int) {
+	total := 0
+	var aw *dataset.ArchiveWriter
+	var sink scan.DaySink
+	if outPath != "" {
+		var err error
+		aw, err = dataset.NewArchiveWriter(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 0, 1
+		}
+		sink = func(day simtime.Day, sw *dataset.SpillWriter) error {
+			total += sw.Len()
+			return aw.Section(sw)
+		}
+	} else {
+		fmt.Println("#domain\ttld\toperator\tns\tdnskey\trrsig\tds\tvalid\tclass")
+		sink = func(day simtime.Day, sw *dataset.SpillWriter) error {
+			total += sw.Len()
+			return sw.EachSorted(func(r *dataset.Record) error {
+				printRecord(r)
+				return nil
+			})
+		}
+	}
+	if err := rs.RunStream(ctx, days, sink); err != nil {
+		if aw != nil {
+			aw.Abort()
+		}
+		if errors.Is(err, context.Canceled) && cp != nil {
+			fmt.Fprintf(os.Stderr, "interrupted; checkpoint saved in %s — re-run with -resume to continue\n", cpDir)
+			return total, 130
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return total, 1
+	}
+	if aw != nil {
+		if err := aw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return total, 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d snapshot(s) to %s\n", len(days), outPath)
+	}
+	// The archive is safely on disk; the checkpoint has served its purpose.
+	if cp != nil {
+		if err := cp.Clear(); err != nil {
+			fmt.Fprintf(os.Stderr, "clearing checkpoint: %v\n", err)
+		}
+	}
+	return total, 0
 }
 
 // planFlags are the flags that shape a sweep's output. In worker mode the
@@ -276,11 +414,16 @@ func run() int {
 var planFlags = []string{
 	"scale", "seed", "days", "sample", "shards", "workers", "o", "retries",
 	"resweeps", "cache", "dedup", "fault-frac", "fault-loss", "fault-seed",
-	"resume", "world-cache",
+	"resume", "world-cache", "chunk",
 }
 
 // workerOnlyFlags only have meaning when joining a coordinator.
 var workerOnlyFlags = []string{"name", "fault-profile", "vantage-seed"}
+
+// streamLocalFlags tune the local streaming pipeline's spill writer. They
+// require -chunk, and have no meaning in worker mode, where completed
+// chunks go to the shared checkpoint directory instead of a local spill.
+var streamLocalFlags = []string{"mem-budget", "spill-dir"}
 
 // validateFlags rejects contradictory combinations of explicitly set
 // flags with errors that say which flag to drop or where to set it.
@@ -296,10 +439,20 @@ func validateFlags(set map[string]bool) error {
 			return fmt.Errorf("-worker mode takes the sweep plan from the coordinator: drop %s here and set them on regsec-sweepd instead",
 				strings.Join(bad, ", "))
 		}
+		for _, f := range streamLocalFlags {
+			if set[f] {
+				return fmt.Errorf("-%s does not apply to -worker mode: workers flush chunks into the shared -checkpoint-dir, not a local spill", f)
+			}
+		}
 		if !set["checkpoint-dir"] {
 			return fmt.Errorf("-worker requires -checkpoint-dir: the shard store shared with the coordinator")
 		}
 		return nil
+	}
+	for _, f := range streamLocalFlags {
+		if set[f] && !set["chunk"] {
+			return fmt.Errorf("-%s only applies to the streaming pipeline (pass -chunk with the targets-per-chunk size)", f)
+		}
 	}
 	for _, f := range workerOnlyFlags {
 		if set[f] {
@@ -351,19 +504,26 @@ func runWorker(url, name, cpDir, profilePath string, vantageSeed int64) int {
 	fmt.Fprintf(os.Stderr, "worker %s joining sweep %q (%d day(s) × %d shard(s))\n",
 		name, plan.Fingerprint, len(plan.Days), plan.Shards)
 
-	setup, err := plan.Spec.Build(vantage, vantageSeed, eventf)
+	// A chunked plan puts every worker on the streaming path: shards are
+	// scanned chunk by chunk with each chunk durably flushed, so killing
+	// this process mid-shard only costs the chunk in flight.
+	cfg := dsweep.WorkerConfig{Name: name, Coord: client, OnEvent: eventf}
+	if plan.Chunk > 0 {
+		fmt.Fprintf(os.Stderr, "plan is chunked: streaming shards in chunks of %d targets\n", plan.Chunk)
+		cfg.StreamSetup, err = plan.Spec.BuildStream(vantage, vantageSeed, eventf)
+	} else {
+		cfg.Setup, err = plan.Spec.Build(vantage, vantageSeed, eventf)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	store, err := checkpoint.Open(cpDir)
+	cfg.Store, err = checkpoint.Open(cpDir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	w, err := dsweep.NewWorker(dsweep.WorkerConfig{
-		Name: name, Coord: client, Store: store, Setup: setup, OnEvent: eventf,
-	})
+	w, err := dsweep.NewWorker(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -35,6 +35,13 @@ func TestValidateFlags(t *testing.T) {
 		{"name without worker", setOf("name"), "only applies to -worker"},
 		{"fault-profile without worker", setOf("fault-profile", "checkpoint-dir"), "only applies to -worker"},
 		{"vantage-seed without worker", setOf("vantage-seed"), "only applies to -worker"},
+		{"streaming sweep", setOf("chunk", "mem-budget", "spill-dir", "o"), ""},
+		{"chunked resume", setOf("chunk", "resume", "checkpoint-dir"), ""},
+		{"mem-budget without chunk", setOf("mem-budget"), "-mem-budget only applies to the streaming pipeline"},
+		{"spill-dir without chunk", setOf("spill-dir", "o"), "-spill-dir only applies to the streaming pipeline"},
+		{"worker with chunk", setOf("worker", "checkpoint-dir", "chunk"), "set them on regsec-sweepd"},
+		{"worker with spill-dir", setOf("worker", "checkpoint-dir", "spill-dir"), "does not apply to -worker mode"},
+		{"worker with mem-budget", setOf("worker", "checkpoint-dir", "mem-budget"), "does not apply to -worker mode"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -59,7 +66,7 @@ func TestValidateFlagNamesExist(t *testing.T) {
 		"retries", "resweeps", "fault-frac", "fault-loss", "fault-seed",
 		"cache", "dedup", "checkpoint-dir", "resume", "shards",
 		"cpuprofile", "memprofile", "worker", "name", "fault-profile",
-		"vantage-seed", "world-cache")
+		"vantage-seed", "world-cache", "chunk", "mem-budget", "spill-dir")
 	for _, f := range planFlags {
 		if !known[f] {
 			t.Errorf("planFlags references unknown flag %q", f)
@@ -68,6 +75,11 @@ func TestValidateFlagNamesExist(t *testing.T) {
 	for _, f := range workerOnlyFlags {
 		if !known[f] {
 			t.Errorf("workerOnlyFlags references unknown flag %q", f)
+		}
+	}
+	for _, f := range streamLocalFlags {
+		if !known[f] {
+			t.Errorf("streamLocalFlags references unknown flag %q", f)
 		}
 	}
 }

@@ -16,6 +16,7 @@
 //	              [-days 2016-06-01,2016-12-31] [-sample 1000] [-shards 4]
 //	              [-scale 2000] [-seed 1] [-workers 16] [-retries 3] [-resweeps 2]
 //	              [-cache] [-dedup] [-fault-frac 0] [-fault-loss 0.2] [-fault-seed 1]
+//	              [-chunk 4096]
 //
 // Then, on any machine sharing the checkpoint directory:
 //
@@ -70,6 +71,7 @@ func run() int {
 	faultFrac := flag.Float64("fault-frac", 0, "fraction of DNS operators made faulty, identically on every worker")
 	faultLoss := flag.Float64("fault-loss", 0.2, "packet-loss probability on faulty operators")
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
+	chunk := flag.Int("chunk", 0, "run workers on the streaming path in chunks of this many targets (0 = whole-shard units)")
 	flag.Parse()
 
 	if *cpDir == "" || *outPath == "" {
@@ -90,6 +92,7 @@ func run() int {
 		ScaleDiv: *scaleDiv, Seed: *seed, Sample: *sample, Workers: *workers,
 		Retries: *retries, Resweeps: *resweeps, Cache: *useCache, Dedup: *useDedup,
 		FaultFrac: *faultFrac, FaultLoss: *faultLoss, FaultSeed: *faultSeed,
+		Chunk: *chunk,
 	}
 	plan := spec.PlanFor(days, *shards)
 

@@ -46,6 +46,46 @@ type DayProgress struct {
 	Done bool `json:"done"`
 	// Shards maps shard index to its completed archive.
 	Shards map[int]*Shard `json:"shards"`
+	// Partial maps shard index to its chunk-granular progress for
+	// streaming sweeps, where the durable unit is a chunk of a shard
+	// rather than the whole shard. A streaming day is Done when every
+	// chunk of every shard is recorded here; the Shards map stays empty.
+	Partial map[int]*ChunkProgress `json:"partial,omitempty"`
+}
+
+// ChunkProgress tracks one shard of a streaming day at chunk granularity:
+// a SIGKILL mid-shard loses at most the chunk in flight, and a resume
+// re-enters the shard at the first chunk missing from Done.
+type ChunkProgress struct {
+	// Chunk is the chunk size (targets per chunk) the shard was cut with.
+	// A resume under a different chunk size is refused — chunk boundaries
+	// are part of what the recorded files mean.
+	Chunk int `json:"chunk"`
+	// Chunks is the shard's total chunk count.
+	Chunks int `json:"chunks"`
+	// Targets is the shard's target count, so per-chunk target counts
+	// (and the health ledger) reconstruct without re-deriving the plan.
+	Targets int `json:"targets"`
+	// Done maps chunk index to its completed archive.
+	Done map[int]*Shard `json:"done"`
+}
+
+// Complete reports whether every chunk of the shard is recorded.
+func (cp *ChunkProgress) Complete() bool {
+	return len(cp.Done) == cp.Chunks
+}
+
+// ChunkTargets returns chunk c's target count under this progress' fixed
+// chunk size (the last chunk is the remainder).
+func (cp *ChunkProgress) ChunkTargets(c int) int {
+	lo := c * cp.Chunk
+	if lo >= cp.Targets {
+		return 0
+	}
+	if hi := lo + cp.Chunk; hi < cp.Targets {
+		return cp.Chunk
+	}
+	return cp.Targets - lo
 }
 
 // State is the whole sweep's progress.
@@ -199,6 +239,13 @@ func (s *Store) LoadShard(day simtime.Day, shard int, meta *Shard) (*dataset.Sna
 	if name == "" {
 		name = shardFile(day, shard)
 	}
+	return s.loadVerified(day, name, meta)
+}
+
+// loadVerified reads one trailered archive file and verifies it against
+// its state metadata: file bytes against the recorded CRC, the archive
+// against its own trailers, record count against the state.
+func (s *Store) loadVerified(day simtime.Day, name string, meta *Shard) (*dataset.Snapshot, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: shard %s: %w", name, err)
@@ -216,6 +263,89 @@ func (s *Store) LoadShard(day simtime.Day, shard int, meta *Shard) (*dataset.Sna
 	}
 	if len(snap.Records) != meta.Records {
 		return nil, fmt.Errorf("checkpoint: shard %s: %d records, state says %d", name, len(snap.Records), meta.Records)
+	}
+	return snap, nil
+}
+
+// ChunkShard returns the chunk-progress entry for one shard of a
+// streaming day, creating it for the given geometry if absent. If an
+// existing entry was recorded under a different geometry (chunk size or
+// target count), it returns an error instead: the recorded chunk files
+// were cut at different boundaries and cannot be reused.
+func (dp *DayProgress) ChunkShard(shard, chunkSize, targets int) (*ChunkProgress, error) {
+	if dp.Partial == nil {
+		dp.Partial = make(map[int]*ChunkProgress)
+	}
+	cp := dp.Partial[shard]
+	if cp == nil {
+		nChunks := (targets + chunkSize - 1) / chunkSize
+		if targets == 0 {
+			nChunks = 0
+		}
+		cp = &ChunkProgress{Chunk: chunkSize, Chunks: nChunks, Targets: targets, Done: make(map[int]*Shard)}
+		dp.Partial[shard] = cp
+		return cp, nil
+	}
+	if cp.Chunk != chunkSize || cp.Targets != targets {
+		return nil, fmt.Errorf("checkpoint: shard %d was chunked as %d targets in chunks of %d; this run wants %d in chunks of %d",
+			shard, cp.Targets, cp.Chunk, targets, chunkSize)
+	}
+	if cp.Done == nil {
+		cp.Done = make(map[int]*Shard)
+	}
+	return cp, nil
+}
+
+// chunkFile names one chunk's archive inside the directory.
+func chunkFile(day simtime.Day, shard, chunk int) string {
+	return fmt.Sprintf("day-%s-shard-%03d-chunk-%05d.tsv", day, shard, chunk)
+}
+
+// chunkFileAs is the owner-tagged variant for distributed workers (see
+// shardFileAs).
+func chunkFileAs(day simtime.Day, shard, chunk int, owner string) string {
+	return fmt.Sprintf("day-%s-shard-%03d-chunk-%05d.w-%s.tsv", day, shard, chunk, sanitizeOwner(owner))
+}
+
+// WriteChunk durably writes one completed chunk snapshot as a trailered
+// archive and returns its metadata for the state file.
+func (s *Store) WriteChunk(day simtime.Day, shard, chunk int, snap *dataset.Snapshot) (*Shard, error) {
+	return s.writeShardFile(chunkFile(day, shard, chunk), snap)
+}
+
+// WriteChunkAs is WriteChunk under an owner-tagged file name.
+func (s *Store) WriteChunkAs(day simtime.Day, shard, chunk int, owner string, snap *dataset.Snapshot) (*Shard, error) {
+	return s.writeShardFile(chunkFileAs(day, shard, chunk, owner), snap)
+}
+
+// LoadChunk re-reads a chunk archive with the same double verification as
+// LoadShard (state CRC plus archive trailers).
+func (s *Store) LoadChunk(day simtime.Day, shard, chunk int, meta *Shard) (*dataset.Snapshot, error) {
+	name := meta.File
+	if name == "" {
+		name = chunkFile(day, shard, chunk)
+	}
+	return s.loadVerified(day, name, meta)
+}
+
+// LoadChunkAs re-reads an owner-tagged chunk archive, verified only by
+// its own trailers — there is no recorded CRC because the writer died (or
+// lost its lease) before reporting it. A missing file is returned as
+// fs.ErrNotExist (via os.ReadFile) so callers can distinguish "never
+// written" from "written but damaged".
+func (s *Store) LoadChunkAs(day simtime.Day, shard, chunk int, owner string) (*dataset.Snapshot, error) {
+	name := chunkFileAs(day, shard, chunk, owner)
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	store, err := dataset.ReadArchiveStrict(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: chunk %s: %w", name, err)
+	}
+	snap := store.Get(day)
+	if snap == nil {
+		return nil, fmt.Errorf("checkpoint: chunk %s: no snapshot for %s", name, day)
 	}
 	return snap, nil
 }

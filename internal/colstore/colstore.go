@@ -313,6 +313,16 @@ func (x *Index) TLDs() []string {
 	return append([]string(nil), x.tlds...)
 }
 
+// Target returns row i's (domain name, TLD) pair without gathering the
+// rest of the row — the cursor accessor the streaming sweep's
+// scan.TargetSource contract is built on. Both strings view the index's
+// backing (possibly an mmap), so they are valid only while the index is
+// open; a chunked sweep that flushes records before Close never notices.
+func (x *Index) Target(i int) (domain, tld string) {
+	x.mustOpen()
+	return x.names[i], x.tlds[x.tldID[i]]
+}
+
 // Row projects domain i back into its ingest form — the inverse of
 // Builder.Add. Day sentinels round-trip (never → simtime.Never); fullDay
 // is derived state and needs no inverse.

@@ -36,7 +36,7 @@ func (s *Snapshot) WriteTSV(w io.Writer) error {
 
 // writeRecord renders one record line. The ninth column is the measurement
 // status: "ok", or the failure class of an unmeasured target.
-func writeRecord(bw *bufio.Writer, r *Record) {
+func writeRecord(bw io.Writer, r *Record) {
 	status := "ok"
 	if r.Failed {
 		status = r.FailReason

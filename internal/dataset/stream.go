@@ -1,0 +1,481 @@
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// The streaming snapshot writer: a full-`.com` sweep produces one day
+// section of ~150M records, far more than fits in RAM as a Snapshot. The
+// SpillWriter accepts records in arrival order under a byte budget,
+// spilling sorted run files to disk whenever the buffer fills, and
+// finalizes the day as one trailered archive section via a k-way merge of
+// the runs — producing bytes identical to the in-RAM
+// Snapshot.Canonicalize + WriteArchiveSection path, so every existing
+// archive consumer (ReadArchive, salvage, TailArchive, the checkpoint
+// store) reads streamed sections without knowing they were streamed.
+
+// DefaultMemBudget is the SpillWriter's buffered-record byte budget when
+// SpillOptions leaves it zero: small enough to bound a sweep shard, large
+// enough that modest days never spill at all.
+const DefaultMemBudget = 256 << 20
+
+// SpillOptions configures the bounded-memory day assembly.
+type SpillOptions struct {
+	// Dir receives the sorted run files (default: the system temp dir).
+	// Runs are ephemeral — they are deleted by Close — but at full scale
+	// they hold most of a day, so point this at a disk with room.
+	Dir string
+	// MemBudget is the approximate byte size of buffered records before a
+	// sorted run is spilled (default DefaultMemBudget).
+	MemBudget int64
+}
+
+// spillRun is one sorted run file on disk.
+type spillRun struct {
+	path    string
+	records int
+}
+
+// SpillWriter assembles one day's archive section with bounded memory.
+// Records arrive in any order (scan sweeps append in worker-completion
+// order); the writer keeps at most MemBudget bytes of them in RAM and
+// spills the excess as sorted TSV run files. WriteSectionTo merges buffer
+// and runs into canonical (TLD, domain) order on the fly.
+//
+// The byte-identity contract assumes each (TLD, domain) key appears once
+// per day — true for any sweep, whose targets are distinct domains. With
+// duplicate keys the merged order is still deterministic (ties break
+// toward earlier-spilled runs) but sort.Slice in Canonicalize is
+// unstable, so the two paths may legally disagree on duplicate ordering.
+type SpillWriter struct {
+	day      simtime.Day
+	opt      SpillOptions
+	buf      []Record
+	bufBytes int64
+	runs     []spillRun
+	total    int
+	err      error // first spill failure, made sticky
+}
+
+// NewSpillWriter creates a writer for one day's records.
+func NewSpillWriter(day simtime.Day, opt SpillOptions) *SpillWriter {
+	if opt.Dir == "" {
+		opt.Dir = os.TempDir()
+	}
+	if opt.MemBudget <= 0 {
+		opt.MemBudget = DefaultMemBudget
+	}
+	return &SpillWriter{day: day, opt: opt}
+}
+
+// Day returns the section day the writer was created for.
+func (w *SpillWriter) Day() simtime.Day { return w.day }
+
+// Len returns the total number of records appended so far.
+func (w *SpillWriter) Len() int { return w.total }
+
+// Runs reports how many sorted runs have been spilled to disk.
+func (w *SpillWriter) Runs() int { return len(w.runs) }
+
+// recordBytes approximates a record's resident size for the byte budget.
+func recordBytes(r *Record) int64 {
+	n := len(r.Domain) + len(r.TLD) + len(r.Operator) + len(r.FailReason)
+	for _, h := range r.NSHosts {
+		n += len(h) + 16
+	}
+	return int64(n) + 96 // struct header + slice/string overheads
+}
+
+// Append adds records, spilling a sorted run when the buffer exceeds the
+// byte budget. Appended slices are copied; callers may reuse them.
+func (w *SpillWriter) Append(recs ...Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	for i := range recs {
+		w.buf = append(w.buf, recs[i])
+		w.bufBytes += recordBytes(&recs[i])
+		w.total++
+		if w.bufBytes >= w.opt.MemBudget {
+			if err := w.spill(); err != nil {
+				w.err = err
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortRecords orders records exactly as Snapshot.Canonicalize does.
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := &recs[i], &recs[j]
+		if a.TLD != b.TLD {
+			return a.TLD < b.TLD
+		}
+		return a.Domain < b.Domain
+	})
+}
+
+// spill sorts the buffer and writes it as one run file.
+func (w *SpillWriter) spill() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	sortRecords(w.buf)
+	f, err := os.CreateTemp(w.opt.Dir, fmt.Sprintf("regsec-spill-%s-*.run", w.day))
+	if err != nil {
+		return fmt.Errorf("dataset: spill: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 256<<10)
+	for i := range w.buf {
+		writeRecord(bw, &w.buf[i])
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("dataset: spill %s: %w", f.Name(), err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("dataset: spill %s: %w", f.Name(), err)
+	}
+	w.runs = append(w.runs, spillRun{path: f.Name(), records: len(w.buf)})
+	w.buf = w.buf[:0]
+	w.bufBytes = 0
+	return nil
+}
+
+// Close removes every spilled run file. The writer keeps its buffered
+// records, so Close after a successful WriteSectionTo is the normal
+// cleanup; merging again after Close is an error.
+func (w *SpillWriter) Close() error {
+	var first error
+	for _, r := range w.runs {
+		if err := os.Remove(r.path); err != nil && first == nil {
+			first = err
+		}
+	}
+	w.runs = nil
+	if w.err == nil && first != nil {
+		w.err = first
+	}
+	return first
+}
+
+// mergeItem is one source's current line in the k-way merge. Lines keep
+// their trailing newline so the merge can copy bytes verbatim.
+type mergeItem struct {
+	tld, domain string
+	line        []byte
+	src         int
+}
+
+// mergeHeap orders items by (TLD, domain), ties broken by source index so
+// the merge is deterministic even with duplicate keys.
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := &h[i], &h[j]
+	if a.tld != b.tld {
+		return a.tld < b.tld
+	}
+	if a.domain != b.domain {
+		return a.domain < b.domain
+	}
+	return a.src < b.src
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// lineKey extracts the (domain, TLD) sort key from a rendered record line
+// (domain and TLD are its first two tab-separated fields).
+func lineKey(line []byte) (domain, tld string, err error) {
+	t1 := bytes.IndexByte(line, '\t')
+	if t1 < 0 {
+		return "", "", fmt.Errorf("dataset: malformed run line %q", line)
+	}
+	rest := line[t1+1:]
+	t2 := bytes.IndexByte(rest, '\t')
+	if t2 < 0 {
+		return "", "", fmt.Errorf("dataset: malformed run line %q", line)
+	}
+	return string(line[:t1]), string(rest[:t2]), nil
+}
+
+// mergeSource yields one source's lines in sorted order.
+type mergeSource interface {
+	next() (line []byte, ok bool, err error)
+	close() error
+}
+
+// runSource streams a spilled run file.
+type runSource struct {
+	f  *os.File
+	br *bufio.Reader
+}
+
+func openRun(path string) (*runSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &runSource{f: f, br: bufio.NewReaderSize(f, 256<<10)}, nil
+}
+
+func (r *runSource) next() ([]byte, bool, error) {
+	line, err := r.br.ReadBytes('\n')
+	if len(line) == 0 && err == io.EOF {
+		return nil, false, nil
+	}
+	if err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	if !bytes.HasSuffix(line, []byte("\n")) {
+		return nil, false, fmt.Errorf("dataset: truncated run file %s", r.f.Name())
+	}
+	return line, true, nil
+}
+
+func (r *runSource) close() error { return r.f.Close() }
+
+// bufSource renders the in-memory buffer's records lazily.
+type bufSource struct {
+	recs []Record
+	i    int
+	line bytes.Buffer
+}
+
+func (b *bufSource) next() ([]byte, bool, error) {
+	if b.i >= len(b.recs) {
+		return nil, false, nil
+	}
+	b.line.Reset()
+	writeRecord(&b.line, &b.recs[b.i])
+	b.i++
+	return b.line.Bytes(), true, nil
+}
+
+func (b *bufSource) close() error { return nil }
+
+// merge runs the k-way merge over every run file plus the sorted buffer,
+// calling emit once per record line in canonical order.
+func (w *SpillWriter) merge(emit func(line []byte) error) error {
+	if w.err != nil {
+		return w.err
+	}
+	sortRecords(w.buf)
+	sources := make([]mergeSource, 0, len(w.runs)+1)
+	defer func() {
+		for _, s := range sources {
+			s.close()
+		}
+	}()
+	for _, r := range w.runs {
+		rs, err := openRun(r.path)
+		if err != nil {
+			return fmt.Errorf("dataset: merge: %w", err)
+		}
+		sources = append(sources, rs)
+	}
+	sources = append(sources, &bufSource{recs: w.buf})
+
+	h := make(mergeHeap, 0, len(sources))
+	advance := func(src int) error {
+		line, ok, err := sources[src].next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		domain, tld, err := lineKey(line)
+		if err != nil {
+			return err
+		}
+		// The buffer source reuses its line buffer; copy so the heap's
+		// view survives the next render. Run lines are fresh allocations.
+		heap.Push(&h, mergeItem{tld: tld, domain: domain, line: append([]byte(nil), line...), src: src})
+		return nil
+	}
+	for i := range sources {
+		if err := advance(i); err != nil {
+			return err
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(mergeItem)
+		if err := emit(it.line); err != nil {
+			return err
+		}
+		if err := advance(it.src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crcWriter counts and checksums everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	n   int
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+// WriteSectionTo streams the day's records as one trailered archive
+// section, byte-identical to writing the same records through
+// Snapshot.Canonicalize + WriteArchiveSection. It may be called more than
+// once (run files are re-read each time) until Close removes the runs.
+func (w *SpillWriter) WriteSectionTo(out io.Writer) error {
+	bw := bufio.NewWriterSize(out, 256<<10)
+	cw := &crcWriter{w: bw}
+	if _, err := fmt.Fprintf(cw, "%s\t%s\t%d\n", tsvHeader, w.day, w.total); err != nil {
+		return err
+	}
+	n := 0
+	err := w.merge(func(line []byte) error {
+		n++
+		_, err := cw.Write(line)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if n != w.total {
+		return fmt.Errorf("dataset: spill merge for %s produced %d records, appended %d (lost or duplicated run?)", w.day, n, w.total)
+	}
+	if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%08x\n", trailerHeader, w.day, cw.n, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// EachSorted calls fn for every record in canonical order, parsing run
+// lines back into Records — the record-level view used by CLI printers
+// that must not hold a day in RAM.
+func (w *SpillWriter) EachSorted(fn func(r *Record) error) error {
+	return w.merge(func(line []byte) error {
+		text := strings.TrimSuffix(string(line), "\n")
+		rec, err := parseRecordFields(strings.Split(text, "\t"))
+		if err != nil {
+			return err
+		}
+		return fn(&rec)
+	})
+}
+
+// ArchiveWriter writes a multi-day trailered archive to a file one
+// section at a time, with the same durability contract as
+// Store.WriteArchiveFile (temp file + fsync + atomic rename + directory
+// fsync on Close) but without ever holding more than one section's merge
+// state in memory. Sections must arrive in ascending day order — the
+// order Store.WriteArchive emits — so streamed and in-RAM archives of the
+// same days are byte-identical.
+type ArchiveWriter struct {
+	path    string
+	tmp     *os.File
+	bw      *bufio.Writer
+	lastDay simtime.Day
+	hasDay  bool
+	done    bool
+}
+
+// NewArchiveWriter starts a streamed archive replacing path on Close.
+func NewArchiveWriter(path string) (*ArchiveWriter, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return nil, err
+	}
+	return &ArchiveWriter{path: path, tmp: tmp, bw: bufio.NewWriterSize(tmp, 256<<10)}, nil
+}
+
+// checkDay enforces the ascending-day section order.
+func (aw *ArchiveWriter) checkDay(day simtime.Day) error {
+	if aw.done {
+		return fmt.Errorf("dataset: ArchiveWriter: section after Close")
+	}
+	if aw.hasDay && day <= aw.lastDay {
+		return fmt.Errorf("dataset: ArchiveWriter: day %s not after %s (sections must be appended in ascending day order)", day, aw.lastDay)
+	}
+	aw.lastDay, aw.hasDay = day, true
+	return nil
+}
+
+// Section streams one day's section from a SpillWriter.
+func (aw *ArchiveWriter) Section(sw *SpillWriter) error {
+	if err := aw.checkDay(sw.Day()); err != nil {
+		return err
+	}
+	return sw.WriteSectionTo(aw.bw)
+}
+
+// Snapshot writes one in-RAM snapshot as a section (canonicalizing it) —
+// the convenience bridge for callers mixing restored and streamed days.
+func (aw *ArchiveWriter) Snapshot(snap *Snapshot) error {
+	if err := aw.checkDay(snap.Day); err != nil {
+		return err
+	}
+	snap.Canonicalize()
+	return snap.WriteArchiveSection(aw.bw)
+}
+
+// Abort discards the partial archive, leaving any previous file at the
+// target path untouched. Safe after Close (no-op).
+func (aw *ArchiveWriter) Abort() {
+	if aw.done {
+		return
+	}
+	aw.done = true
+	aw.tmp.Close()
+	os.Remove(aw.tmp.Name())
+}
+
+// Close flushes, fsyncs, and atomically renames the archive into place.
+func (aw *ArchiveWriter) Close() error {
+	if aw.done {
+		return fmt.Errorf("dataset: ArchiveWriter: double Close")
+	}
+	aw.done = true
+	tmpName := aw.tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if err := aw.bw.Flush(); err != nil {
+		aw.tmp.Close()
+		return err
+	}
+	if err := aw.tmp.Sync(); err != nil {
+		aw.tmp.Close()
+		return err
+	}
+	if err := aw.tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, aw.path); err != nil {
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(aw.path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// fakeRecords fabricates a deterministic, shuffled record population with
+// every field class exercised (failed records, empty NS sets, multi-host
+// NS sets).
+func fakeRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	tlds := []string{"com", "net", "org", "nl", "se"}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		tld := tlds[rng.Intn(len(tlds))]
+		r := Record{
+			Domain:   fmt.Sprintf("d%06d.%s", i, tld),
+			TLD:      tld,
+			Operator: fmt.Sprintf("op%d", rng.Intn(40)),
+		}
+		switch rng.Intn(4) {
+		case 0:
+			r.Failed, r.FailReason = true, "timeout"
+		case 1:
+			r.NSHosts = []string{"ns1.x.net", "ns2.x.net"}
+			r.HasDNSKEY, r.HasRRSIG = true, true
+		case 2:
+			r.NSHosts = []string{"ns1.y.net"}
+			r.HasDNSKEY, r.HasDS, r.ChainValid, r.HasRRSIG = true, true, true, true
+		}
+		recs = append(recs, r)
+	}
+	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+	return recs
+}
+
+// oracleSection renders records through the in-RAM path.
+func oracleSection(t *testing.T, day simtime.Day, recs []Record) []byte {
+	t.Helper()
+	snap := &Snapshot{Day: day, Records: append([]Record(nil), recs...)}
+	snap.Canonicalize()
+	var buf bytes.Buffer
+	if err := snap.WriteArchiveSection(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSpillWriterByteIdentity drives the spill writer across budgets that
+// force zero, some, and many runs, asserting the streamed section bytes
+// equal the in-RAM canonicalize path exactly.
+func TestSpillWriterByteIdentity(t *testing.T) {
+	day := simtime.Date(2016, 12, 31)
+	recs := fakeRecords(500, 7)
+	want := oracleSection(t, day, recs)
+
+	for _, budget := range []int64{1, 64, 1 << 10, 16 << 10, 1 << 30} {
+		sw := NewSpillWriter(day, SpillOptions{Dir: t.TempDir(), MemBudget: budget})
+		// Append in awkward batch sizes to exercise batch boundaries.
+		for lo := 0; lo < len(recs); lo += 7 {
+			hi := lo + 7
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			if err := sw.Append(recs[lo:hi]...); err != nil {
+				t.Fatalf("budget %d: %v", budget, err)
+			}
+		}
+		if sw.Len() != len(recs) {
+			t.Fatalf("budget %d: Len = %d, want %d", budget, sw.Len(), len(recs))
+		}
+		var got bytes.Buffer
+		if err := sw.WriteSectionTo(&got); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("budget %d (%d runs): section bytes differ from in-RAM path", budget, sw.Runs())
+		}
+		if budget == 1 && sw.Runs() < 2 {
+			t.Fatalf("budget 1 spilled only %d runs; the merge path is untested", sw.Runs())
+		}
+		// The merge must be re-runnable until Close.
+		var again bytes.Buffer
+		if err := sw.WriteSectionTo(&again); err != nil {
+			t.Fatalf("budget %d: second merge: %v", budget, err)
+		}
+		if !bytes.Equal(again.Bytes(), want) {
+			t.Fatalf("budget %d: second merge diverged", budget)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatalf("budget %d: Close: %v", budget, err)
+		}
+	}
+}
+
+// TestSpillWriterSectionParses round-trips a spilled section through the
+// strict archive reader.
+func TestSpillWriterSectionParses(t *testing.T) {
+	day := simtime.Date(2016, 6, 1)
+	recs := fakeRecords(200, 3)
+	sw := NewSpillWriter(day, SpillOptions{Dir: t.TempDir(), MemBudget: 256})
+	if err := sw.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	var buf bytes.Buffer
+	if err := sw.WriteSectionTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	store, err := ReadArchiveStrict(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := store.Get(day)
+	if snap == nil || len(snap.Records) != len(recs) {
+		t.Fatalf("round trip lost records: %v", snap)
+	}
+}
+
+// TestSpillWriterEachSorted checks the record-level merge view agrees
+// with the canonical order and parses every field back.
+func TestSpillWriterEachSorted(t *testing.T) {
+	day := simtime.Date(2016, 6, 1)
+	recs := fakeRecords(120, 11)
+	sw := NewSpillWriter(day, SpillOptions{Dir: t.TempDir(), MemBudget: 128})
+	if err := sw.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+
+	want := &Snapshot{Day: day, Records: append([]Record(nil), recs...)}
+	want.Canonicalize()
+	i := 0
+	err := sw.EachSorted(func(r *Record) error {
+		w := &want.Records[i]
+		if r.Domain != w.Domain || r.TLD != w.TLD || r.Failed != w.Failed || r.HasDNSKEY != w.HasDNSKEY {
+			return fmt.Errorf("record %d: got %+v want %+v", i, r, w)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(recs) {
+		t.Fatalf("EachSorted yielded %d records, want %d", i, len(recs))
+	}
+}
+
+// TestSpillWriterCleanup asserts Close removes every run file.
+func TestSpillWriterCleanup(t *testing.T) {
+	dir := t.TempDir()
+	day := simtime.Date(2016, 6, 1)
+	sw := NewSpillWriter(day, SpillOptions{Dir: dir, MemBudget: 1})
+	if err := sw.Append(fakeRecords(50, 1)...); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Runs() == 0 {
+		t.Fatal("expected spilled runs")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("run files left behind: %v", left)
+	}
+}
+
+// TestArchiveWriterByteIdentity streams a multi-day archive and compares
+// it byte-for-byte with Store.WriteArchiveFile over the same snapshots.
+func TestArchiveWriterByteIdentity(t *testing.T) {
+	days := []simtime.Day{
+		simtime.Date(2016, 6, 1),
+		simtime.Date(2016, 9, 1),
+		simtime.Date(2016, 12, 31),
+	}
+	store := NewStore()
+	byDay := map[simtime.Day][]Record{}
+	for i, day := range days {
+		recs := fakeRecords(100+i*37, int64(i)+1)
+		byDay[day] = recs
+		snap := &Snapshot{Day: day, Records: append([]Record(nil), recs...)}
+		snap.Canonicalize()
+		store.Add(snap)
+	}
+	dir := t.TempDir()
+	wantPath := filepath.Join(dir, "want.tsv")
+	if err := store.WriteArchiveFile(wantPath); err != nil {
+		t.Fatal(err)
+	}
+
+	gotPath := filepath.Join(dir, "got.tsv")
+	aw, err := NewArchiveWriter(gotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, day := range days {
+		sw := NewSpillWriter(day, SpillOptions{Dir: dir, MemBudget: 512})
+		if err := sw.Append(byDay[day]...); err != nil {
+			t.Fatal(err)
+		}
+		if err := aw.Section(sw); err != nil {
+			t.Fatal(err)
+		}
+		sw.Close()
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(wantPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(gotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("streamed archive differs from Store.WriteArchiveFile")
+	}
+}
+
+// TestArchiveWriterDayOrder rejects out-of-order and duplicate days.
+func TestArchiveWriterDayOrder(t *testing.T) {
+	dir := t.TempDir()
+	aw, err := NewArchiveWriter(filepath.Join(dir, "a.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aw.Abort()
+	d2 := simtime.Date(2016, 9, 1)
+	d1 := simtime.Date(2016, 6, 1)
+	if err := aw.Snapshot(&Snapshot{Day: d2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Snapshot(&Snapshot{Day: d1}); err == nil {
+		t.Fatal("out-of-order day accepted")
+	}
+	if err := aw.Snapshot(&Snapshot{Day: d2}); err == nil {
+		t.Fatal("duplicate day accepted")
+	}
+}
+
+// TestArchiveWriterAbort leaves the previous archive untouched.
+func TestArchiveWriterAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.tsv")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	aw, err := NewArchiveWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Snapshot(&Snapshot{Day: simtime.Date(2016, 6, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	aw.Abort()
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "old" {
+		t.Fatalf("abort clobbered the previous archive: %q %v", data, err)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, ".*tmp*"))
+	if len(left) != 0 {
+		t.Fatalf("temp files left behind: %v", left)
+	}
+}

@@ -42,13 +42,21 @@ type Server struct {
 	// MaxInFlight caps concurrent slow-path query goroutines (default 512);
 	// packets beyond the cap are dropped and counted in Stats.
 	MaxInFlight int
+	// MaxTCPConns caps concurrently served TCP connections (default 64).
+	// The TCP path is goroutine-per-connection with blocking reads — the
+	// expensive slow path truncation retries and AXFR land on — so without
+	// a cap a connection flood pins one goroutine plus buffers per socket.
+	// Connections beyond the cap are closed at accept and counted in Stats,
+	// the same shed-don't-queue admission the UDP path applies.
+	MaxTCPConns int
 	// Legacy selects the original goroutine-per-packet UDP path with no
 	// worker pool, pooling, or wire cache. Retained as the benchmark
 	// baseline for regsec-bench's serve section.
 	Legacy bool
 
-	stats serverCounters
-	sem   chan struct{}
+	stats  serverCounters
+	sem    chan struct{}
+	tcpSem chan struct{}
 
 	mu       sync.Mutex
 	pc       net.PacketConn
@@ -65,6 +73,7 @@ type serverCounters struct {
 	slowPath  atomic.Uint64
 	dropped   atomic.Uint64
 	malformed atomic.Uint64
+	tcpShed   atomic.Uint64
 }
 
 // ServerStats is a point-in-time snapshot of the UDP path counters.
@@ -79,6 +88,9 @@ type ServerStats struct {
 	Dropped uint64 `json:"dropped"`
 	// Malformed packets failed the full parse (or packing) and got no reply.
 	Malformed uint64 `json:"malformed"`
+	// TCPShed connections were closed at accept because MaxTCPConns was
+	// exhausted.
+	TCPShed uint64 `json:"tcp_shed"`
 }
 
 // Stats snapshots the server's UDP counters.
@@ -89,6 +101,7 @@ func (s *Server) Stats() ServerStats {
 		SlowPath:  s.stats.slowPath.Load(),
 		Dropped:   s.stats.dropped.Load(),
 		Malformed: s.stats.malformed.Load(),
+		TCPShed:   s.stats.tcpShed.Load(),
 	}
 }
 
@@ -137,6 +150,13 @@ func (s *Server) ListenAndServe(addr string) error {
 			n = 512
 		}
 		s.sem = make(chan struct{}, n)
+	}
+	if s.tcpSem == nil {
+		n := s.MaxTCPConns
+		if n <= 0 {
+			n = 64
+		}
+		s.tcpSem = make(chan struct{}, n)
 	}
 	s.mu.Unlock()
 	udp, isUDP := pc.(*net.UDPConn)
@@ -437,9 +457,20 @@ func (s *Server) serveTCP(ln net.Listener) {
 		if err != nil {
 			return // closed
 		}
+		select {
+		case s.tcpSem <- struct{}{}:
+		default:
+			// Admission gate: the connection pool is full, so shed the
+			// newcomer at accept instead of queueing it — held-open sockets
+			// must not grow goroutines without bound.
+			s.stats.tcpShed.Add(1)
+			conn.Close()
+			continue
+		}
 		s.wg.Add(1)
 		go func(conn net.Conn) {
 			defer s.wg.Done()
+			defer func() { <-s.tcpSem }()
 			defer conn.Close()
 			if !s.trackConn(conn) {
 				return

@@ -34,6 +34,12 @@ const (
 	// ActSlowDisk sleeps Delay before the shard write while heartbeats
 	// continue — a slow disk that should NOT lose the lease.
 	ActSlowDisk
+	// ActKillBetweenChunks kills the worker on a chunked (streaming) unit
+	// after AfterChunks chunks have been durably flushed — the mid-shard
+	// SIGKILL the chunk files exist to survive: the re-leased unit reuses
+	// every flushed chunk by checksum and scans only the rest. On a
+	// non-chunked unit it behaves like ActKillBeforeWrite.
+	ActKillBetweenChunks
 )
 
 // Event schedules one injection against one claim.
@@ -46,6 +52,9 @@ type Event struct {
 	Act Action
 	// Delay parameterizes ActStall and ActSlowDisk.
 	Delay time.Duration
+	// AfterChunks parameterizes ActKillBetweenChunks: the kill fires once
+	// this many chunks of the claimed unit have been durably flushed.
+	AfterChunks int
 }
 
 // Script is a deterministic chaos schedule for one worker. A nil *Script

@@ -59,6 +59,13 @@ type Plan struct {
 	// Shards is the number of work units per day; every participant splits
 	// a day's targets with scan.ShardSplit(targets, Shards).
 	Shards int `json:"shards"`
+	// Chunk, when positive, switches workers to the streaming scan path:
+	// each shard is scanned in chunks of this many targets, with every
+	// completed chunk durably flushed, so a killed worker resumes its
+	// shard at the last flushed chunk instead of from scratch. Zero keeps
+	// the legacy whole-shard path. The value shapes the durable chunk
+	// files, so it is part of the plan (and its fingerprint) like Shards.
+	Chunk int `json:"chunk,omitempty"`
 	// Spec, when set, carries the world configuration remote workers need
 	// to rebuild the sweep environment for themselves.
 	Spec *WorldSpec `json:"spec,omitempty"`
@@ -76,6 +83,8 @@ func (p *Plan) validate() error {
 		return fmt.Errorf("dsweep: plan has no days")
 	case p.Shards < 1:
 		return fmt.Errorf("dsweep: plan needs at least 1 shard per day, have %d", p.Shards)
+	case p.Chunk < 0:
+		return fmt.Errorf("dsweep: plan chunk size must be non-negative, have %d", p.Chunk)
 	}
 	seen := make(map[simtime.Day]bool, len(p.Days))
 	for _, d := range p.Days {

@@ -19,6 +19,9 @@ type WorkerSpec struct {
 	Name string
 	// Setup builds the worker's scanning environment per day.
 	Setup scan.DaySetup
+	// StreamSetup is Setup's streaming counterpart, required when the plan
+	// carries a positive Chunk.
+	StreamSetup scan.StreamDaySetup
 	// Chaos, when set, injects scripted faults into this worker.
 	Chaos *Script
 }
@@ -76,12 +79,13 @@ func RunLocal(ctx context.Context, cfg LocalConfig) (*dataset.Store, *Result, er
 	)
 	for _, ws := range cfg.Workers {
 		w, err := NewWorker(WorkerConfig{
-			Name:    ws.Name,
-			Coord:   coord,
-			Store:   cfg.Store,
-			Setup:   ws.Setup,
-			Chaos:   ws.Chaos,
-			OnEvent: cfg.OnEvent,
+			Name:        ws.Name,
+			Coord:       coord,
+			Store:       cfg.Store,
+			Setup:       ws.Setup,
+			StreamSetup: ws.StreamSetup,
+			Chaos:       ws.Chaos,
+			OnEvent:     cfg.OnEvent,
 		})
 		if err != nil {
 			return nil, nil, err

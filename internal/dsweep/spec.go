@@ -42,6 +42,10 @@ type WorldSpec struct {
 	// Cache and Dedup toggle the optional exchange stack layers.
 	Cache bool `json:"cache,omitempty"`
 	Dedup bool `json:"dedup,omitempty"`
+	// Chunk, when positive, runs workers on the streaming scan path in
+	// chunks of this many targets (see Plan.Chunk); zero keeps the legacy
+	// whole-shard path.
+	Chunk int `json:"chunk,omitempty"`
 	// FaultFrac/FaultLoss/FaultSeed configure the sweep-wide fault
 	// injection (a fraction of DNS operators made lossy), identically on
 	// every worker.
@@ -86,9 +90,16 @@ func (sp *WorldSpec) Fingerprint(days []simtime.Day, shards int) string {
 	for _, d := range days {
 		names = append(names, d.String())
 	}
-	return fmt.Sprintf("dsweep scale=%g seed=%d days=%s sample=%d shards=%d faults=%g/%g/%d retries=%d resweeps=%d cache=%v dedup=%v",
+	fp := fmt.Sprintf("dsweep scale=%g seed=%d days=%s sample=%d shards=%d faults=%g/%g/%d retries=%d resweeps=%d cache=%v dedup=%v",
 		s.ScaleDiv, s.Seed, strings.Join(names, ","), s.Sample, shards,
 		s.FaultFrac, s.FaultLoss, s.FaultSeed, s.Retries, s.Resweeps, s.Cache, s.Dedup)
+	// Chunk size shapes the durable chunk files a resumed worker trusts, so
+	// chunked plans get their own fingerprint space; legacy (chunk-less)
+	// fingerprints are unchanged.
+	if s.Chunk > 0 {
+		fp += fmt.Sprintf(" chunk=%d", s.Chunk)
+	}
+	return fp
 }
 
 // PlanFor assembles a complete Plan for this spec.
@@ -99,6 +110,7 @@ func (sp *WorldSpec) PlanFor(days []simtime.Day, shards int) Plan {
 		Fingerprint: s.Fingerprint(days, shards),
 		Days:        append([]simtime.Day(nil), days...),
 		Shards:      shards,
+		Chunk:       s.Chunk,
 		Spec:        &s,
 	}
 }
@@ -109,12 +121,19 @@ func (sp *WorldSpec) PlanFor(days []simtime.Day, shards int) Plan {
 // is this worker's own vantage-point fault profile, layered below the
 // sweep-wide fault rules and driven by vantageSeed.
 func (sp *WorldSpec) Build(vantage []faultnet.Rule, vantageSeed int64, onEvent func(format string, args ...any)) (scan.DaySetup, error) {
-	s := *sp
-	s.normalize()
-	world, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / s.ScaleDiv, Seed: s.Seed})
+	world, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / sp.ScaleDiv, Seed: sp.Seed})
 	if err != nil {
 		return nil, err
 	}
+	return sp.BuildWith(world, vantage, vantageSeed, onEvent)
+}
+
+// BuildWith is Build over a caller-supplied world — typically one
+// mmap-loaded from a world cache, so the population is file-backed
+// instead of resident heap.
+func (sp *WorldSpec) BuildWith(world *tldsim.World, vantage []faultnet.Rule, vantageSeed int64, onEvent func(format string, args ...any)) (scan.DaySetup, error) {
+	s := *sp
+	s.normalize()
 	domains := world.Sample(s.Sample, s.Seed)
 	targets := make([]scan.Target, 0, len(domains))
 	for _, d := range domains {
@@ -156,5 +175,72 @@ func (sp *WorldSpec) Build(vantage []faultnet.Rule, vantageSeed int64, onEvent f
 			return nil, nil, err
 		}
 		return scanner, targets, nil
+	}, nil
+}
+
+// BuildStream is Build's streaming counterpart: the same world and sample,
+// but the day setup yields a target cursor plus a per-chunk prepare hook
+// that materializes only the chunk in flight — signing cost and resident
+// zone data scale with the chunk size, not the sample. Fault middleware is
+// derived from the cursor without materializing the sample, and is
+// byte-for-byte the profile Build produces for the same spec.
+func (sp *WorldSpec) BuildStream(vantage []faultnet.Rule, vantageSeed int64, onEvent func(format string, args ...any)) (scan.StreamDaySetup, error) {
+	world, err := tldsim.Build(tldsim.WorldConfig{Scale: 1 / sp.ScaleDiv, Seed: sp.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return sp.BuildStreamWith(world, vantage, vantageSeed, onEvent)
+}
+
+// BuildStreamWith is BuildStream over a caller-supplied world. The
+// streaming setup keeps the world reachable for the whole sweep (chunks
+// materialize from it lazily), so an mmap-loaded world matters more here
+// than for Build: it keeps the retained population file-backed.
+func (sp *WorldSpec) BuildStreamWith(world *tldsim.World, vantage []faultnet.Rule, vantageSeed int64, onEvent func(format string, args ...any)) (scan.StreamDaySetup, error) {
+	s := *sp
+	s.normalize()
+	src := world.SampleSource(s.Sample, s.Seed)
+	return func(ctx context.Context, day simtime.Day) (*scan.Scanner, scan.TargetSource, scan.ChunkPrepare, error) {
+		if onEvent != nil {
+			onEvent("streaming %d domains at %s", src.Len(), day)
+		}
+		sm := tldsim.NewStreamMaterializer(day, src)
+		clock := func() simtime.Day { return day }
+		var mw []exchange.Middleware
+		if s.FaultFrac > 0 {
+			rules, _ := tldsim.LossyOperatorsSource(src, s.FaultFrac, s.FaultLoss, s.FaultSeed)
+			mw = append(mw, faultnet.New(nil, s.FaultSeed, clock, rules...).Middleware())
+		}
+		if len(vantage) > 0 {
+			mw = append(mw, faultnet.New(nil, vantageSeed, clock, vantage...).Middleware())
+		}
+		var cacheOpts *exchange.CacheOptions
+		if s.Cache {
+			cacheOpts = &exchange.CacheOptions{}
+		}
+		scanner, err := scan.New(scan.Config{
+			Exchange:    sm,
+			Middleware:  mw,
+			Dedup:       s.Dedup,
+			Cache:       cacheOpts,
+			TLDServers:  sm.TLDServers,
+			Workers:     s.Workers,
+			Clock:       clock,
+			Retry:       retry.Policy{MaxAttempts: s.Retries},
+			MaxResweeps: s.Resweeps,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prepare := func(ctx context.Context, lo, hi int) error {
+			// Each chunk's materialization signs with fresh keys, so any
+			// answers cached from the previous chunk would fail this chunk's
+			// validation — the cache must not outlive a chunk.
+			if s.Cache {
+				scanner.Stack().FlushCache()
+			}
+			return sm.Prepare(ctx, lo, hi)
+		}
+		return scanner, src, prepare, nil
 	}, nil
 }

@@ -2,11 +2,15 @@ package dsweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io/fs"
 	"sync"
 	"time"
 
 	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/dataset"
 	"securepki.org/registrarsec/internal/scan"
 	"securepki.org/registrarsec/internal/simtime"
 )
@@ -24,6 +28,11 @@ type WorkerConfig struct {
 	// each worker owns its whole exchange stack, so vantage-point fault
 	// profiles and transport state never leak between workers.
 	Setup scan.DaySetup
+	// StreamSetup is Setup's streaming counterpart, required when the plan
+	// carries a positive Chunk: the worker scans its shard chunk by chunk,
+	// durably flushing each chunk, so a kill mid-shard resumes at the last
+	// flushed chunk instead of from scratch.
+	StreamSetup scan.StreamDaySetup
 	// Chaos, when set, injects scripted faults (tests only).
 	Chaos *Script
 	// OnEvent, when set, receives progress lines.
@@ -39,8 +48,9 @@ type Worker struct {
 	cfg    WorkerConfig
 	claims int
 
-	cachedDay   simtime.Day
-	cachedSetup *workerDay
+	cachedDay    simtime.Day
+	cachedSetup  *workerDay
+	cachedStream *workerDayStream
 }
 
 // workerDay is one day's materialized scanning environment, cached because
@@ -48,6 +58,16 @@ type Worker struct {
 type workerDay struct {
 	scanner *scan.Scanner
 	parts   [][]scan.Target
+}
+
+// workerDayStream is one day's streaming scanning environment: a target
+// cursor and per-chunk prepare hook instead of a materialized target list.
+type workerDayStream struct {
+	scanner *scan.Scanner
+	src     scan.TargetSource
+	prepare scan.ChunkPrepare
+	spans   []scan.Span
+	buf     []scan.Target
 }
 
 // NewWorker validates the configuration and returns a worker.
@@ -59,7 +79,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, fmt.Errorf("dsweep: worker requires a coordinator")
 	case cfg.Store == nil:
 		return nil, fmt.Errorf("dsweep: worker requires a checkpoint store")
-	case cfg.Setup == nil:
+	case cfg.Setup == nil && cfg.StreamSetup == nil:
 		return nil, fmt.Errorf("dsweep: worker requires a day setup")
 	}
 	return &Worker{cfg: cfg}, nil
@@ -81,6 +101,12 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	if err := plan.validate(); err != nil {
 		return err
+	}
+	if plan.Chunk > 0 && w.cfg.StreamSetup == nil {
+		return fmt.Errorf("dsweep: worker %s: plan wants chunked streaming (chunk=%d) but worker has no StreamSetup", w.cfg.Name, plan.Chunk)
+	}
+	if plan.Chunk == 0 && w.cfg.Setup == nil {
+		return fmt.Errorf("dsweep: worker %s: plan is whole-shard but worker has only a StreamSetup", w.cfg.Name)
 	}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -132,20 +158,32 @@ func (w *Worker) runUnit(ctx context.Context, plan *Plan, grant *Grant) (bool, e
 	}
 	defer stopHB()
 
-	day, err := w.day(ctx, plan, unit.Day)
-	if err != nil {
-		return false, err
-	}
-	// The plan's shard count is fixed, but ShardSplit clamps to the target
-	// count — indices past the split are legitimately empty units whose
-	// archive contributes zero records to the merge.
-	var part []scan.Target
-	if unit.Shard < len(day.parts) {
-		part = day.parts[unit.Shard]
-	}
-	snap, health, err := day.scanner.ScanDay(ctx, unit.Day, part)
-	if err != nil {
-		return false, fmt.Errorf("dsweep: worker %s: unit %s: %w", w.cfg.Name, unit, err)
+	var (
+		snap   *dataset.Snapshot
+		health *scan.SweepHealth
+		err    error
+	)
+	if plan.Chunk > 0 {
+		snap, health, err = w.scanUnitChunked(ctx, plan, unit, ev)
+		if err != nil {
+			return false, err
+		}
+	} else {
+		day, err := w.day(ctx, plan, unit.Day)
+		if err != nil {
+			return false, err
+		}
+		// The plan's shard count is fixed, but ShardSplit clamps to the
+		// target count — indices past the split are legitimately empty units
+		// whose archive contributes zero records to the merge.
+		var part []scan.Target
+		if unit.Shard < len(day.parts) {
+			part = day.parts[unit.Shard]
+		}
+		snap, health, err = day.scanner.ScanDay(ctx, unit.Day, part)
+		if err != nil {
+			return false, fmt.Errorf("dsweep: worker %s: unit %s: %w", w.cfg.Name, unit, err)
+		}
 	}
 	snap.Canonicalize()
 
@@ -153,6 +191,15 @@ func (w *Worker) runUnit(ctx context.Context, plan *Plan, grant *Grant) (bool, e
 	case ActKillBeforeWrite:
 		w.event("worker %s: chaos kill before write on %s (claim %d)", w.cfg.Name, unit, w.claims)
 		return false, ErrChaosKilled
+	case ActKillBetweenChunks:
+		// On a chunked unit the kill fires inside scanUnitChunked; reaching
+		// here means it never triggered (AfterChunks past the shard's chunk
+		// count) and the unit completes normally. On a whole-shard unit
+		// there are no chunks, so the action degrades to a pre-write kill.
+		if plan.Chunk == 0 {
+			w.event("worker %s: chaos kill before write on %s (claim %d)", w.cfg.Name, unit, w.claims)
+			return false, ErrChaosKilled
+		}
 	case ActStall:
 		w.event("worker %s: chaos stall %s on %s (claim %d)", w.cfg.Name, ev.Delay, unit, w.claims)
 		if err := sleepCtx(ctx, ev.Delay); err != nil {
@@ -202,8 +249,108 @@ func (w *Worker) day(ctx context.Context, plan *Plan, d simtime.Day) (*workerDay
 		return nil, fmt.Errorf("dsweep: worker %s: setup for %s: %w", w.cfg.Name, d, err)
 	}
 	wd := &workerDay{scanner: scanner, parts: scan.ShardSplit(targets, plan.Shards)}
-	w.cachedDay, w.cachedSetup = d, wd
+	w.cachedDay, w.cachedSetup, w.cachedStream = d, wd, nil
 	return wd, nil
+}
+
+// dayStream is day's streaming counterpart, caching the cursor and the
+// shard spans derived from it.
+func (w *Worker) dayStream(ctx context.Context, plan *Plan, d simtime.Day) (*workerDayStream, error) {
+	if w.cachedStream != nil && w.cachedDay == d {
+		return w.cachedStream, nil
+	}
+	scanner, src, prepare, err := w.cfg.StreamSetup(ctx, d)
+	if err != nil {
+		return nil, fmt.Errorf("dsweep: worker %s: setup for %s: %w", w.cfg.Name, d, err)
+	}
+	wd := &workerDayStream{
+		scanner: scanner,
+		src:     src,
+		prepare: prepare,
+		spans:   scan.ShardBounds(src.Len(), plan.Shards),
+		buf:     make([]scan.Target, 0, plan.Chunk),
+	}
+	w.cachedDay, w.cachedStream, w.cachedSetup = d, wd, nil
+	return wd, nil
+}
+
+// chunkOwner tags this worker's durable chunk files with a hash of the plan
+// fingerprint, so a restarted worker trusts only chunks it wrote itself
+// under this exact plan — never a stale file from a previous sweep in the
+// same directory, and never another worker's chunks, whose vantage-point
+// fault profile may legitimately differ.
+func (w *Worker) chunkOwner(plan *Plan) string {
+	h := fnv.New32a()
+	h.Write([]byte(plan.Fingerprint))
+	return fmt.Sprintf("%s-%08x", w.cfg.Name, h.Sum32())
+}
+
+// scanUnitChunked scans one unit on the streaming path: the shard's cursor
+// span is walked in plan.Chunk-sized chunks, each chunk is durably flushed
+// as an owner-tagged checksum-trailered file the moment it completes, and
+// chunks already flushed by an earlier (killed) incarnation of this worker
+// are verified and reused instead of re-scanned. The assembled shard
+// snapshot is returned to runUnit, which writes the same whole-shard
+// archive a legacy worker would — the coordinator's completion and merge
+// protocol never sees the difference.
+func (w *Worker) scanUnitChunked(ctx context.Context, plan *Plan, unit UnitID, ev Event) (*dataset.Snapshot, *scan.SweepHealth, error) {
+	day, err := w.dayStream(ctx, plan, unit.Day)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Indices past the span list are legitimately empty units, as in the
+	// legacy path.
+	var span scan.Span
+	if unit.Shard < len(day.spans) {
+		span = day.spans[unit.Shard]
+	}
+	chunks := 0
+	if span.Len() > 0 {
+		chunks = (span.Len() + plan.Chunk - 1) / plan.Chunk
+	}
+	owner := w.chunkOwner(plan)
+	snap := &dataset.Snapshot{Day: unit.Day}
+	health := &scan.SweepHealth{Day: unit.Day, ByClass: make(map[scan.FailClass]int)}
+	flushed := 0
+	for c := 0; c < chunks; c++ {
+		clo := span.Lo + c*plan.Chunk
+		chi := clo + plan.Chunk
+		if chi > span.Hi {
+			chi = span.Hi
+		}
+		part, err := w.cfg.Store.LoadChunkAs(unit.Day, unit.Shard, c, owner)
+		if err == nil {
+			w.event("worker %s: reusing chunk %d/%d of %s (%d records)", w.cfg.Name, c+1, chunks, unit, len(part.Records))
+			snap.Records = append(snap.Records, part.Records...)
+			health.Merge(scan.HealthFromSnapshot(unit.Day, chi-clo, part))
+			continue
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			w.event("worker %s: chunk %d/%d of %s damaged (%v), re-scanning", w.cfg.Name, c+1, chunks, unit, err)
+		}
+		if day.prepare != nil {
+			if err := day.prepare(ctx, clo, chi); err != nil {
+				return nil, nil, err
+			}
+		}
+		day.buf = scan.CollectTargets(day.src, clo, chi, day.buf)
+		part, h, scanErr := day.scanner.ScanDay(ctx, unit.Day, day.buf)
+		health.Merge(h)
+		if scanErr != nil {
+			return nil, nil, fmt.Errorf("dsweep: worker %s: unit %s: %w", w.cfg.Name, unit, scanErr)
+		}
+		part.Canonicalize()
+		if _, err := w.cfg.Store.WriteChunkAs(unit.Day, unit.Shard, c, owner, part); err != nil {
+			return nil, nil, fmt.Errorf("dsweep: worker %s: flushing chunk %d of %s: %w", w.cfg.Name, c, unit, err)
+		}
+		snap.Records = append(snap.Records, part.Records...)
+		flushed++
+		if ev.Act == ActKillBetweenChunks && flushed >= ev.AfterChunks {
+			w.event("worker %s: chaos kill after %d flushed chunks on %s (claim %d)", w.cfg.Name, flushed, unit, w.claims)
+			return nil, nil, ErrChaosKilled
+		}
+	}
+	return snap, health, nil
 }
 
 // startHeartbeat extends the lease on a ttl/3 cadence until stopped. A

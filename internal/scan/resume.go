@@ -35,6 +35,17 @@ type ResumableSweep struct {
 	Shards int
 	// Setup builds the scanner and targets for one day.
 	Setup DaySetup
+	// StreamSetup is Setup's streaming counterpart (used by RunStream): it
+	// yields a target cursor and an optional per-chunk prepare hook instead
+	// of a materialized target slice.
+	StreamSetup StreamDaySetup
+	// Chunk is RunStream's targets-per-chunk size (default DefaultChunk).
+	// It shapes the durable chunk files, so it must be covered by the
+	// Fingerprint — resuming under a different chunk size is refused at
+	// the shard level regardless.
+	Chunk int
+	// Spill configures RunStream's per-day spill-to-disk writers.
+	Spill dataset.SpillOptions
 	// OnDayHealth, when set, receives each day's aggregated health report.
 	OnDayHealth func(day simtime.Day, h *SweepHealth)
 	// OnEvent, when set, receives progress lines (resume skips, shard
@@ -91,31 +102,11 @@ func (rs *ResumableSweep) Run(ctx context.Context, days []simtime.Day) (*dataset
 	if rs.Setup == nil {
 		return nil, fmt.Errorf("scan: ResumableSweep requires a Setup function")
 	}
-	var st *checkpoint.State
-	if rs.Checkpoint != nil {
-		// The sweep is the sole mutator of the checkpoint state for its
-		// whole run: a second process resuming the same directory must fail
-		// here, not interleave Save calls with us.
-		release, err := rs.Checkpoint.AcquireLock("resumable-sweep", rs.Fingerprint)
-		if err != nil {
-			return nil, err
-		}
-		defer release()
-		loaded, err := rs.Checkpoint.Load()
-		if err != nil {
-			return nil, err
-		}
-		if loaded != nil {
-			if loaded.Fingerprint != rs.Fingerprint {
-				return nil, fmt.Errorf("scan: checkpoint in %s belongs to a different sweep (fingerprint %q, this run %q)",
-					rs.Checkpoint.Dir(), loaded.Fingerprint, rs.Fingerprint)
-			}
-			st = loaded
-		}
+	st, release, err := rs.lockAndLoad()
+	if err != nil {
+		return nil, err
 	}
-	if st == nil {
-		st = checkpoint.NewState(rs.Fingerprint)
-	}
+	defer release()
 	store := dataset.NewStore()
 	for _, day := range days {
 		snap, err := rs.runDay(ctx, day, st)
@@ -127,6 +118,37 @@ func (rs *ResumableSweep) Run(ctx context.Context, days []simtime.Day) (*dataset
 		}
 	}
 	return store, nil
+}
+
+// lockAndLoad acquires the checkpoint's single-writer lock and loads (or
+// creates) the state, refusing a state written under a different
+// fingerprint. With no checkpoint configured it returns a fresh in-memory
+// state and a no-op release.
+func (rs *ResumableSweep) lockAndLoad() (*checkpoint.State, func() error, error) {
+	if rs.Checkpoint == nil {
+		return checkpoint.NewState(rs.Fingerprint), func() error { return nil }, nil
+	}
+	// The sweep is the sole mutator of the checkpoint state for its whole
+	// run: a second process resuming the same directory must fail here,
+	// not interleave Save calls with us.
+	release, err := rs.Checkpoint.AcquireLock("resumable-sweep", rs.Fingerprint)
+	if err != nil {
+		return nil, nil, err
+	}
+	loaded, err := rs.Checkpoint.Load()
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	if loaded != nil {
+		if loaded.Fingerprint != rs.Fingerprint {
+			release()
+			return nil, nil, fmt.Errorf("scan: checkpoint in %s belongs to a different sweep (fingerprint %q, this run %q)",
+				rs.Checkpoint.Dir(), loaded.Fingerprint, rs.Fingerprint)
+		}
+		return loaded, release, nil
+	}
+	return checkpoint.NewState(rs.Fingerprint), release, nil
 }
 
 // saveState persists the checkpoint state if checkpointing is on.
@@ -173,7 +195,7 @@ func (rs *ResumableSweep) runDay(ctx context.Context, day simtime.Day, st *check
 			if err == nil {
 				rs.event("resume: day %s shard %d/%d verified from checkpoint (%d records)", day, k+1, len(parts), len(snap.Records))
 				daySnap.Records = append(daySnap.Records, snap.Records...)
-				dayHealth.Merge(healthFromSnapshot(day, len(part), snap))
+				dayHealth.Merge(HealthFromSnapshot(day, len(part), snap))
 				continue
 			}
 			rs.event("resume: day %s shard %d/%d damaged (%v), re-scanning", day, k+1, len(parts), err)
@@ -241,12 +263,13 @@ func (rs *ResumableSweep) loadDoneDay(day simtime.Day, dp *checkpoint.DayProgres
 	return snap, true
 }
 
-// healthFromSnapshot reconstructs approximate health accounting for a
-// shard restored from the checkpoint: measured and failed records are
-// exact (they are in the snapshot); targets absent from the snapshot were
-// unregistered or unknown-TLD at scan time and are folded into
-// Unregistered, since the checkpoint does not persist that distinction.
-func healthFromSnapshot(day simtime.Day, shardTargets int, snap *dataset.Snapshot) *SweepHealth {
+// HealthFromSnapshot reconstructs approximate health accounting for a
+// shard or chunk restored from the checkpoint: measured and failed
+// records are exact (they are in the snapshot); targets absent from the
+// snapshot were unregistered or unknown-TLD at scan time and are folded
+// into Unregistered, since the checkpoint does not persist that
+// distinction. The reconstruction is always Balanced.
+func HealthFromSnapshot(day simtime.Day, shardTargets int, snap *dataset.Snapshot) *SweepHealth {
 	h := &SweepHealth{Day: day, Targets: shardTargets, ByClass: make(map[FailClass]int)}
 	h.Measured = snap.MeasuredCount()
 	for i := range snap.Records {

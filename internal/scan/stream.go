@@ -1,0 +1,160 @@
+package scan
+
+import (
+	"context"
+
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// The streaming scan pipeline: at full-`.com` scale neither the target
+// list nor a day's snapshot fits in RAM, so the sweep walks a random-access
+// target cursor in fixed-size chunks, materializes each chunk's DNS lazily,
+// scans it with the ordinary engine, and flushes the chunk's canonicalized
+// records through a sink before touching the next chunk. Because every
+// per-target outcome is a pure function of the zone data and the fault
+// schedule (see the package determinism contract, and faultnet's
+// per-question fault hashing), the concatenation of chunk results is
+// record-identical to a whole-day ScanDay over the same targets — which is
+// what makes the legacy path usable as the equivalence oracle.
+
+// DefaultChunk is the streaming chunk size when none is configured:
+// targets per materialize+scan+flush unit.
+const DefaultChunk = 4096
+
+// TargetSource is a random-access cursor over a day's scan targets. It is
+// the streaming replacement for []Target: implementations index straight
+// into a backing store (an mmap'd colstore.Index, a tldsim world, a slice)
+// so the full target list is never materialized. Target returns bare
+// strings rather than a Target struct so backing stores can implement the
+// interface without importing this package.
+type TargetSource interface {
+	// Len is the number of targets.
+	Len() int
+	// Target returns target i's domain name and TLD.
+	Target(i int) (domain, tld string)
+}
+
+// sliceTargets adapts a materialized []Target to the cursor interface.
+type sliceTargets []Target
+
+func (s sliceTargets) Len() int { return len(s) }
+func (s sliceTargets) Target(i int) (string, string) {
+	return s[i].Domain, s[i].TLD
+}
+
+// SliceTargets wraps an in-memory target list as a TargetSource — the
+// bridge for small sweeps and tests.
+func SliceTargets(ts []Target) TargetSource { return sliceTargets(ts) }
+
+// CollectTargets materializes a cursor's span [lo, hi) into dst (reused if
+// it has capacity). Intended for chunk-sized spans only.
+func CollectTargets(src TargetSource, lo, hi int, dst []Target) []Target {
+	dst = dst[:0]
+	for i := lo; i < hi; i++ {
+		d, tld := src.Target(i)
+		dst = append(dst, Target{Domain: d, TLD: tld})
+	}
+	return dst
+}
+
+// ChunkPrepare readies the scanning environment for the cursor span
+// [lo, hi) before it is scanned — the hook where a simulated world
+// materializes just that chunk's signed DNS, bounding zone memory and
+// signing cost by the chunk size instead of the day.
+type ChunkPrepare func(ctx context.Context, lo, hi int) error
+
+// ChunkSink receives each completed chunk: its canonicalized snapshot and
+// its health report. The snapshot is not retained by the scanner — the
+// sink owns it.
+type ChunkSink func(chunk int, snap *dataset.Snapshot, h *SweepHealth) error
+
+// StreamOptions configures ScanDayStream.
+type StreamOptions struct {
+	// Chunk is the targets-per-chunk size (default DefaultChunk).
+	Chunk int
+	// Prepare, when set, is called for each chunk's span before scanning.
+	Prepare ChunkPrepare
+}
+
+// chunkSize returns the effective chunk size.
+func (o *StreamOptions) chunkSize() int {
+	if o.Chunk <= 0 {
+		return DefaultChunk
+	}
+	return o.Chunk
+}
+
+// ScanDayStream sweeps the cursor's targets in chunks, flushing each
+// chunk's canonicalized snapshot through sink as it completes, and returns
+// the day's aggregated health. Peak memory is bounded by the chunk size
+// (plus whatever the sink retains) rather than the day: no full target
+// slice, no full day snapshot.
+//
+// The SweepHealth ledger stays exact under chunking: each chunk's ScanDay
+// balances Targets == Measured + Unregistered + skipped + failed, and
+// every counter in the report is commutative under Merge, so the returned
+// aggregate balances too — including after a mid-day cancellation, where
+// chunks never started simply do not enter the ledger (exactly like the
+// shards a cancelled legacy sweep never reached).
+func (s *Scanner) ScanDayStream(ctx context.Context, day simtime.Day, src TargetSource, opts StreamOptions, sink ChunkSink) (*SweepHealth, error) {
+	chunk := opts.chunkSize()
+	n := src.Len()
+	total := &SweepHealth{Day: day, ByClass: make(map[FailClass]int)}
+	buf := make([]Target, 0, chunk)
+	for c, lo := 0, 0; lo < n; c, lo = c+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if opts.Prepare != nil {
+			if err := opts.Prepare(ctx, lo, hi); err != nil {
+				return total, err
+			}
+		}
+		buf = CollectTargets(src, lo, hi, buf)
+		snap, h, err := s.ScanDay(ctx, day, buf)
+		total.Merge(h)
+		if err != nil {
+			return total, err
+		}
+		snap.Canonicalize()
+		if sink != nil {
+			if err := sink(c, snap, h); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Span is a half-open index range [Lo, Hi) over a TargetSource.
+type Span struct{ Lo, Hi int }
+
+// Len returns the span's target count.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// ShardBounds partitions n cursor positions into contiguous shard spans
+// with exactly the boundaries ShardSplit produces on a materialized slice
+// of length n — the property that lets a streaming resume interoperate
+// with shard indices computed anywhere else in the pipeline.
+func ShardBounds(n, shards int) []Span {
+	if shards > n && n > 0 {
+		shards = n
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	out := make([]Span, 0, shards)
+	size, rem := n/shards, n%shards
+	start := 0
+	for i := 0; i < shards; i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		out = append(out, Span{Lo: start, Hi: end})
+		start = end
+	}
+	return out
+}

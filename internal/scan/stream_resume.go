@@ -1,0 +1,239 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+
+	"securepki.org/registrarsec/internal/checkpoint"
+	"securepki.org/registrarsec/internal/dataset"
+	"securepki.org/registrarsec/internal/simtime"
+)
+
+// StreamDaySetup materializes the streaming scan environment for one day:
+// the scanner, a random-access target cursor, and an optional per-chunk
+// prepare hook (nil when the scanning substrate needs no per-chunk work).
+// Like DaySetup it is called lazily — a day fully verified from the
+// checkpoint never pays for a setup.
+type StreamDaySetup func(ctx context.Context, day simtime.Day) (*Scanner, TargetSource, ChunkPrepare, error)
+
+// DaySink receives each completed day of a streaming sweep as a spill
+// writer holding the day's full record set. The sink typically calls
+// sw.WriteSectionTo to stream the canonical day section into an archive;
+// the writer is closed by the caller after the sink returns.
+type DaySink func(day simtime.Day, sw *dataset.SpillWriter) error
+
+// chunk returns the effective streaming chunk size.
+func (rs *ResumableSweep) chunk() int {
+	if rs.Chunk <= 0 {
+		return DefaultChunk
+	}
+	return rs.Chunk
+}
+
+// RunStream executes the sweep over days with bounded memory: targets come
+// off a cursor chunk by chunk, every completed chunk is durably
+// checkpointed before the next starts, and each day's records accumulate
+// in a spill writer (RAM up to Spill.MemBudget, sorted run files beyond)
+// handed to sink when the day completes. A SIGKILL mid-shard loses at most
+// the chunk in flight; the re-run verifies completed chunks by checksum
+// and re-enters the shard at the first missing chunk. The final day
+// sections are byte-identical to the in-RAM Run + Canonicalize path.
+func (rs *ResumableSweep) RunStream(ctx context.Context, days []simtime.Day, sink DaySink) error {
+	if rs.StreamSetup == nil {
+		return fmt.Errorf("scan: RunStream requires a StreamSetup function")
+	}
+	st, release, err := rs.lockAndLoad()
+	if err != nil {
+		return err
+	}
+	defer release()
+	for _, day := range days {
+		if err := rs.runDayStream(ctx, day, st, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runDayStream completes one day chunk by chunk. In streaming mode the
+// durable unit is the chunk: no shard-level files are written, and a
+// completed day keeps its Partial chunk map as the record of what the day
+// is made of.
+func (rs *ResumableSweep) runDayStream(ctx context.Context, day simtime.Day, st *checkpoint.State, sink DaySink) (err error) {
+	dp := st.Day(day)
+	sw := dataset.NewSpillWriter(day, rs.Spill)
+	defer func() {
+		if cerr := sw.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	// Fast path: the whole day is checkpointed — verify every chunk by
+	// checksum and skip the scan (and the day's setup) entirely.
+	if dp.Done && rs.Checkpoint != nil {
+		ok, lerr := rs.loadDoneDayStream(day, dp, sw)
+		if lerr != nil {
+			return lerr
+		}
+		if ok {
+			rs.event("resume: day %s verified from checkpoint (%d records), skipping scan", day, sw.Len())
+			return rs.finishDayStream(day, sw, sink)
+		}
+		// Some chunk is damaged or missing: demote the day, discard
+		// whatever the partial verification appended, and re-enter the
+		// general path with a fresh writer.
+		dp.Done = false
+		if serr := rs.saveState(st); serr != nil {
+			return serr
+		}
+		if cerr := sw.Close(); cerr != nil {
+			return cerr
+		}
+		sw = dataset.NewSpillWriter(day, rs.Spill)
+	}
+
+	scanner, src, prepare, err := rs.StreamSetup(ctx, day)
+	if err != nil {
+		return err
+	}
+	chunkSz := rs.chunk()
+	spans := ShardBounds(src.Len(), rs.shards())
+	dayHealth := &SweepHealth{Day: day, ByClass: make(map[FailClass]int)}
+	buf := make([]Target, 0, chunkSz)
+
+	for k, span := range spans {
+		cp, err := dp.ChunkShard(k, chunkSz, span.Len())
+		if err != nil {
+			// The checkpoint's chunk geometry disagrees with this run's
+			// plan — the recorded chunk files mean something else. Refuse,
+			// like a fingerprint mismatch, rather than fabricate a day out
+			// of incompatible pieces.
+			return fmt.Errorf("scan: day %s: %w", day, err)
+		}
+		for c := 0; c < cp.Chunks; c++ {
+			clo := span.Lo + c*chunkSz
+			chi := clo + chunkSz
+			if chi > span.Hi {
+				chi = span.Hi
+			}
+			if meta := cp.Done[c]; meta != nil && rs.Checkpoint != nil {
+				snap, err := rs.Checkpoint.LoadChunk(day, k, c, meta)
+				if err == nil {
+					rs.event("resume: day %s shard %d chunk %d/%d verified from checkpoint (%d records)",
+						day, k, c+1, cp.Chunks, len(snap.Records))
+					if err := sw.Append(snap.Records...); err != nil {
+						return err
+					}
+					dayHealth.Merge(HealthFromSnapshot(day, chi-clo, snap))
+					continue
+				}
+				rs.event("resume: day %s shard %d chunk %d/%d damaged (%v), re-scanning", day, k, c+1, cp.Chunks, err)
+				delete(cp.Done, c)
+			}
+
+			if prepare != nil {
+				if err := prepare(ctx, clo, chi); err != nil {
+					return err
+				}
+			}
+			buf = CollectTargets(src, clo, chi, buf)
+			snap, health, scanErr := scanner.ScanDay(ctx, day, buf)
+			dayHealth.Merge(health)
+			if scanErr != nil {
+				// Interrupted mid-chunk: drop the partial chunk, persist
+				// what is already complete, and hand the caller a clean
+				// resume point.
+				if saveErr := rs.saveState(st); saveErr != nil {
+					return fmt.Errorf("scan: %w (and checkpoint save failed: %v)", scanErr, saveErr)
+				}
+				if rs.OnDayHealth != nil {
+					rs.OnDayHealth(day, dayHealth)
+				}
+				return scanErr
+			}
+			snap.Canonicalize()
+			if rs.Checkpoint != nil {
+				meta, err := rs.Checkpoint.WriteChunk(day, k, c, snap)
+				if err != nil {
+					return err
+				}
+				cp.Done[c] = meta
+				if err := rs.saveState(st); err != nil {
+					return err
+				}
+			}
+			if err := sw.Append(snap.Records...); err != nil {
+				return err
+			}
+		}
+	}
+
+	dp.Done = true
+	if err := rs.saveState(st); err != nil {
+		return err
+	}
+	if rs.OnDayHealth != nil {
+		rs.OnDayHealth(day, dayHealth)
+	}
+	return rs.finishDayStream(day, sw, sink)
+}
+
+// finishDayStream hands the completed day to the sink.
+func (rs *ResumableSweep) finishDayStream(day simtime.Day, sw *dataset.SpillWriter, sink DaySink) error {
+	if sink == nil {
+		return nil
+	}
+	return sink(day, sw)
+}
+
+// loadDoneDayStream assembles a completed streaming day from its
+// checkpointed chunks into sw, verifying each. ok is false if any chunk
+// fails verification (damaged entries are removed so the caller re-scans
+// just those). A day completed by the legacy shard path loads from its
+// shard files instead.
+func (rs *ResumableSweep) loadDoneDayStream(day simtime.Day, dp *checkpoint.DayProgress, sw *dataset.SpillWriter) (bool, error) {
+	if len(dp.Partial) == 0 {
+		// Legacy-completed day: stream its shard archives through sw.
+		for k := 0; k < len(dp.Shards); k++ {
+			meta := dp.Shards[k]
+			if meta == nil {
+				rs.event("resume: day %s shard %d missing from checkpoint state", day, k)
+				return false, nil
+			}
+			snap, err := rs.Checkpoint.LoadShard(day, k, meta)
+			if err != nil {
+				rs.event("resume: day %s shard %d failed verification (%v)", day, k, err)
+				delete(dp.Shards, k)
+				return false, nil
+			}
+			if err := sw.Append(snap.Records...); err != nil {
+				return false, err
+			}
+		}
+		return len(dp.Shards) > 0, nil
+	}
+	for k := 0; k < len(dp.Partial); k++ {
+		cp := dp.Partial[k]
+		if cp == nil {
+			rs.event("resume: day %s shard %d missing from chunk progress", day, k)
+			return false, nil
+		}
+		for c := 0; c < cp.Chunks; c++ {
+			meta := cp.Done[c]
+			if meta == nil {
+				rs.event("resume: day %s shard %d chunk %d missing from checkpoint state", day, k, c)
+				return false, nil
+			}
+			snap, err := rs.Checkpoint.LoadChunk(day, k, c, meta)
+			if err != nil {
+				rs.event("resume: day %s shard %d chunk %d failed verification (%v)", day, k, c, err)
+				delete(cp.Done, c)
+				return false, nil
+			}
+			if err := sw.Append(snap.Records...); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}

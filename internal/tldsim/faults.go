@@ -1,8 +1,6 @@
 package tldsim
 
 import (
-	"math/rand"
-	"sort"
 	"time"
 
 	"securepki.org/registrarsec/internal/exchange"
@@ -30,22 +28,7 @@ func LossyOperators(domains []DomainState, frac, loss float64, seed int64) ([]fa
 			operators = append(operators, op)
 		}
 	}
-	sort.Strings(operators)
-	n := int(float64(len(operators)) * frac)
-	if n > len(operators) {
-		n = len(operators)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	rng.Shuffle(len(operators), func(i, j int) {
-		operators[i], operators[j] = operators[j], operators[i]
-	})
-	chosen := append([]string(nil), operators[:n]...)
-	sort.Strings(chosen)
-	rules := make([]faultnet.Rule, 0, n)
-	for _, op := range chosen {
-		rules = append(rules, faultnet.Rule{Pattern: nsFor(op), Loss: loss})
-	}
-	return rules, chosen
+	return lossyFromOperators(operators, frac, loss, seed)
 }
 
 // OperatorOutage declares a dark window for one operator's nameserver: it

@@ -65,7 +65,7 @@ func Materialize(day simtime.Day, domains []DomainState) (*Materialized, error) 
 		if z, ok := tldZones[tld]; ok {
 			return z, tldSigners[tld], nil
 		}
-		ns := "ns1." + tld + "-registry.example"
+		ns := tldServerName(tld)
 		z := zone.New(tld)
 		z.MustAdd(dnswire.NewRR(tld, 86400, &dnswire.SOA{
 			MName: ns, RName: "hostmaster." + ns,
@@ -180,20 +180,18 @@ func Materialize(day simtime.Day, domains []DomainState) (*Materialized, error) 
 	return m, nil
 }
 
-// Sample picks n domains deterministically (seeded) from the world for
-// materialized verification scans, preserving class diversity by simple
-// uniform sampling over the full population.
+// tldServerName is the deterministic authoritative-server name for a TLD
+// registry. Chunked materializations rely on it: every chunk of a day
+// rebuilds the TLD zone but addresses it by the same name, so one
+// TLDServers map is valid for the whole day.
+func tldServerName(tld string) string { return "ns1." + tld + "-registry.example" }
+
+// Sample materializes n deterministically (seeded) sampled domains as a
+// slice. It is the test/ablation form: at population scale the slice
+// itself is the memory problem, so production sweeps hold the cursor from
+// SampleSource instead and never materialize the draw.
 func (w *World) Sample(n int, seed int64) []DomainState {
-	if n >= w.Len() {
-		return w.AllDomains()
-	}
-	rng := rand.New(rand.NewSource(seed))
-	idx := rng.Perm(w.Len())[:n]
-	out := make([]DomainState, 0, n)
-	for _, i := range idx {
-		out = append(out, w.DomainAt(i))
-	}
-	return out
+	return Domains(w.SampleSource(n, seed))
 }
 
 // BuildAgents constructs live registrar agents for the whole catalogue on
